@@ -1,0 +1,180 @@
+//! A compact bit vector used as the backing store for configuration memory.
+//!
+//! Configuration memories run to millions of bits (≈5.9 Mbit for the
+//! XQVR1000-class geometry), and fault-injection campaigns clone them per
+//! worker, so the representation is a plain `Vec<u64>` with no per-bit
+//! bookkeeping.
+
+/// A fixed-length vector of bits packed into 64-bit words.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitVec {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl BitVec {
+    /// An all-zero bit vector of `len` bits.
+    pub fn zeros(len: usize) -> Self {
+        BitVec {
+            words: vec![0; len.div_ceil(64)],
+            len,
+        }
+    }
+
+    /// Number of bits.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the vector has no bits.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Read bit `i`. Panics if out of range.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        (self.words[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Write bit `i`. Panics if out of range.
+    #[inline]
+    pub fn set(&mut self, i: usize, v: bool) {
+        assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        let w = &mut self.words[i / 64];
+        let mask = 1u64 << (i % 64);
+        if v {
+            *w |= mask;
+        } else {
+            *w &= !mask;
+        }
+    }
+
+    /// Flip bit `i`, returning its new value.
+    #[inline]
+    pub fn flip(&mut self, i: usize) -> bool {
+        assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        self.words[i / 64] ^= 1u64 << (i % 64);
+        self.get(i)
+    }
+
+    /// Extract up to 64 bits starting at `i` (little-endian within the run).
+    /// Bits past the end read as zero.
+    #[inline]
+    pub fn get_bits(&self, i: usize, n: usize) -> u64 {
+        debug_assert!(n <= 64);
+        let mut out = 0u64;
+        for k in 0..n {
+            let idx = i + k;
+            if idx < self.len && self.get(idx) {
+                out |= 1 << k;
+            }
+        }
+        out
+    }
+
+    /// Store the low `n` bits of `v` starting at bit `i`.
+    #[inline]
+    pub fn set_bits(&mut self, i: usize, n: usize, v: u64) {
+        debug_assert!(n <= 64);
+        for k in 0..n {
+            self.set(i + k, (v >> k) & 1 == 1);
+        }
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Copy a bit range `[src_start, src_start+n)` from `src` into
+    /// `[dst_start, dst_start+n)` of `self`.
+    pub fn copy_range_from(&mut self, dst_start: usize, src: &BitVec, src_start: usize, n: usize) {
+        for k in 0..n {
+            self.set(dst_start + k, src.get(src_start + k));
+        }
+    }
+
+    /// Serialize a bit range into bytes, LSB-first within each byte.
+    pub fn range_to_bytes(&self, start: usize, n: usize) -> Vec<u8> {
+        let mut out = vec![0u8; n.div_ceil(8)];
+        for k in 0..n {
+            if self.get(start + k) {
+                out[k / 8] |= 1 << (k % 8);
+            }
+        }
+        out
+    }
+
+    /// Overwrite a bit range from bytes, LSB-first within each byte.
+    pub fn range_from_bytes(&mut self, start: usize, n: usize, bytes: &[u8]) {
+        assert!(bytes.len() * 8 >= n, "byte slice too short for {n} bits");
+        for k in 0..n {
+            self.set(start + k, (bytes[k / 8] >> (k % 8)) & 1 == 1);
+        }
+    }
+
+    /// Indices of bits that differ between `self` and `other` within a range.
+    pub fn diff_range(&self, other: &BitVec, start: usize, n: usize) -> Vec<usize> {
+        (start..start + n)
+            .filter(|&i| self.get(i) != other.get(i))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_flip() {
+        let mut bv = BitVec::zeros(130);
+        assert!(!bv.get(0));
+        bv.set(0, true);
+        bv.set(129, true);
+        assert!(bv.get(0) && bv.get(129));
+        assert_eq!(bv.count_ones(), 2);
+        assert!(!bv.flip(0));
+        assert_eq!(bv.count_ones(), 1);
+    }
+
+    #[test]
+    fn get_set_bits_field() {
+        let mut bv = BitVec::zeros(100);
+        bv.set_bits(10, 16, 0xBEEF);
+        assert_eq!(bv.get_bits(10, 16), 0xBEEF);
+        assert_eq!(bv.get_bits(10, 8), 0xEF);
+        // neighbours untouched
+        assert!(!bv.get(9));
+        assert!(!bv.get(26));
+    }
+
+    #[test]
+    fn byte_roundtrip() {
+        let mut bv = BitVec::zeros(77);
+        for i in (0..77).step_by(3) {
+            bv.set(i, true);
+        }
+        let bytes = bv.range_to_bytes(0, 77);
+        let mut bv2 = BitVec::zeros(77);
+        bv2.range_from_bytes(0, 77, &bytes);
+        assert_eq!(bv, bv2);
+    }
+
+    #[test]
+    fn diff_range_finds_flips() {
+        let mut a = BitVec::zeros(64);
+        let b = a.clone();
+        a.flip(5);
+        a.flip(63);
+        assert_eq!(a.diff_range(&b, 0, 64), vec![5, 63]);
+        assert_eq!(a.diff_range(&b, 6, 50), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn bits_past_end_read_zero() {
+        let bv = BitVec::zeros(10);
+        assert_eq!(bv.get_bits(8, 8), 0);
+    }
+}

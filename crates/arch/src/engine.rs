@@ -1,0 +1,178 @@
+//! Cycle-accurate evaluation of a compiled network.
+//!
+//! Each [`eval_cycle`] is one user-clock edge: combinational logic settles
+//! (iteratively if corruption created cycles), outputs are sampled, then
+//! sequential state commits — flip-flops, BRAM ports, and run-time LUT
+//! writes (distributed RAM / SRL16), which write *through* to configuration
+//! memory because on a real Virtex LUT and BRAM contents **are**
+//! configuration memory. That write-through is what makes the paper's
+//! readback hazards (§II-C) and read-modify-write scrubbing discussion
+//! (§IV-B) fall out of the model instead of being special-cased.
+
+use crate::bits::{lut_table_offset, LutMode};
+use crate::compile::{Compiled, Src};
+use crate::device::Device;
+
+/// Maximum relaxation sweeps for combinational cycles.
+const MAX_SWEEPS: usize = 8;
+
+#[inline]
+fn src_val(s: Src, lut_vals: &[bool], c: &Compiled, d: &Device, inputs: &[bool]) -> bool {
+    match s {
+        Src::Zero => false,
+        Src::One => true,
+        Src::HalfLatch { site, invert } => d.half_latches.value(site) ^ invert,
+        Src::Lut(i) => lut_vals[i as usize],
+        Src::Ff(i) => d.ff_state.get(c.ffs[i as usize].state_idx),
+        Src::Bram { id, bit } => (d.bram_outreg[c.brams[id as usize].reg_idx] >> bit) & 1 == 1,
+        Src::Input { port, invert } => inputs.get(port as usize).copied().unwrap_or(false) ^ invert,
+    }
+}
+
+/// Settle combinational logic into `c.lut_vals`.
+fn settle(c: &mut Compiled, d: &Device, inputs: &[bool]) {
+    let mut vals = std::mem::take(&mut c.lut_vals);
+    let sweeps = if c.iterative { MAX_SWEEPS } else { 1 };
+    for _ in 0..sweeps {
+        let mut changed = false;
+        for &li in &c.order {
+            let lut = &c.luts[li as usize];
+            let mut a = 0usize;
+            for (p, &pin) in lut.pins.iter().enumerate() {
+                if src_val(pin, &vals, c, d, inputs) {
+                    a |= 1 << p;
+                }
+            }
+            let v = (lut.table >> a) & 1 == 1;
+            if vals[li as usize] != v {
+                vals[li as usize] = v;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    c.lut_vals = vals;
+}
+
+fn read_outputs(c: &Compiled, d: &Device, inputs: &[bool]) -> Vec<bool> {
+    c.outputs
+        .iter()
+        .map(|&(src, inv)| src_val(src, &c.lut_vals, c, d, inputs) ^ inv)
+        .collect()
+}
+
+/// Settle and sample outputs without advancing sequential state.
+pub(crate) fn settle_outputs(c: &mut Compiled, d: &mut Device, inputs: &[bool]) -> Vec<bool> {
+    settle(c, d, inputs);
+    read_outputs(c, d, inputs)
+}
+
+/// Execute one full clock cycle; returns the sampled outputs.
+pub(crate) fn eval_cycle(c: &mut Compiled, d: &mut Device, inputs: &[bool]) -> Vec<bool> {
+    settle(c, d, inputs);
+    let out = read_outputs(c, d, inputs);
+
+    // Flip-flop next-state (double-buffered: all D/CE/SR sampled before any
+    // commit).
+    for i in 0..c.ffs.len() {
+        let ff = &c.ffs[i];
+        let sr = src_val(ff.sr, &c.lut_vals, c, d, inputs);
+        let ce = src_val(ff.ce, &c.lut_vals, c, d, inputs);
+        let cur = d.ff_state.get(ff.state_idx);
+        c.ff_next[i] = if sr {
+            ff.init
+        } else if ce {
+            src_val(ff.d, &c.lut_vals, c, d, inputs)
+        } else {
+            cur
+        };
+    }
+
+    // BRAM port operations. A block whose content frame is mid-readback is
+    // locked: the configuration logic owns its address lines (paper §IV-A).
+    for bi in 0..c.brams.len() {
+        let (reg_idx, col, block) = {
+            let b = &c.brams[bi];
+            (b.reg_idx, b.col as usize, b.block as usize)
+        };
+        if d.bram_locked[reg_idx] > 0 {
+            d.bram_locked[reg_idx] -= 1;
+            continue;
+        }
+        let b = &c.brams[bi];
+        let en = src_val(b.en, &c.lut_vals, c, d, inputs);
+        if !en {
+            continue;
+        }
+        let mut addr = 0usize;
+        for (i, &a) in b.addr.iter().enumerate() {
+            if src_val(a, &c.lut_vals, c, d, inputs) {
+                addr |= 1 << i;
+            }
+        }
+        let we = src_val(b.we, &c.lut_vals, c, d, inputs);
+        if we {
+            let mut w = 0u16;
+            for (i, &dsrc) in b.din.iter().enumerate() {
+                if src_val(dsrc, &c.lut_vals, c, d, inputs) {
+                    w |= 1 << i;
+                }
+            }
+            // Write-first: the output register sees the new word.
+            d.config.write_bram_word(col, block, addr, w);
+            d.design_wrote_config = true;
+        }
+        d.bram_outreg[reg_idx] = d.config.read_bram_word(col, block, addr);
+    }
+
+    // Run-time LUT writes (distributed RAM and SRL16). These mutate the
+    // *configuration memory*, so a scrub pass that blindly restores the
+    // golden frame will clobber live data — the paper's RMW problem.
+    for li in 0..c.luts.len() {
+        if !c.luts[li].mode.is_dynamic() {
+            continue;
+        }
+        let we = src_val(c.luts[li].we, &c.lut_vals, c, d, inputs);
+        if !we {
+            continue;
+        }
+        let data = src_val(c.luts[li].data, &c.lut_vals, c, d, inputs);
+        let new_table = match c.luts[li].mode {
+            LutMode::Ram => {
+                let mut a = 0usize;
+                for (p, &pin) in c.luts[li].pins.iter().enumerate() {
+                    if src_val(pin, &c.lut_vals, c, d, inputs) {
+                        a |= 1 << p;
+                    }
+                }
+                let mut t = c.luts[li].table;
+                if data {
+                    t |= 1 << a;
+                } else {
+                    t &= !(1 << a);
+                }
+                t
+            }
+            LutMode::Shift => ((c.luts[li].table << 1) | data as u16) & 0xffff,
+            _ => unreachable!(),
+        };
+        let (tile, slice, lut) = {
+            let l = &c.luts[li];
+            (l.tile, l.slice as usize, l.lut as usize)
+        };
+        c.luts[li].table = new_table;
+        d.design_wrote_config = true;
+        d.config
+            .write_tile_field(tile, lut_table_offset(slice, lut, 0), 16, new_table as u64);
+    }
+
+    // Commit flip-flops.
+    for i in 0..c.ffs.len() {
+        let idx = c.ffs[i].state_idx;
+        d.ff_state.set(idx, c.ff_next[i]);
+    }
+
+    out
+}

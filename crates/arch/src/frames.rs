@@ -1,0 +1,646 @@
+//! Frame-organised configuration memory.
+//!
+//! The frame is "the smallest granularity of reconfiguration available on
+//! the Xilinx parts" (paper §II-A): readback and partial reconfiguration
+//! move whole frames. The memory is split into four block types:
+//!
+//! * **CLB** frames — 48 vertical frames per CLB column; each tile in the
+//!   column contributes [`TILE_BITS_PER_FRAME`] bits to each frame.
+//! * **IOB** frames — one frame per device row and edge, holding the
+//!   input/output port bindings of the boundary wires.
+//! * **BRAM interface** frames — port multiplexer configuration per block.
+//! * **BRAM content** frames — the 4096 data bits of each block. Content is
+//!   *live*: the running design writes it, which is why scrubbing must
+//!   treat these frames specially (paper §II-C, §IV).
+
+use crate::bitvec::BitVec;
+use crate::bits::{self, BitRole, FRAMES_PER_CLB_COL, TILE_BITS, TILE_BITS_PER_FRAME};
+use crate::geometry::{FrameLayout, Geometry, Tile, BRAM_BITS, WIRES_PER_DIR};
+
+/// Block type of a configuration frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum BlockType {
+    /// CLB array frames (`major` = CLB column, `minor` = frame 0..48).
+    Clb,
+    /// IOB frames (`major` = edge: 0 west/inputs, 1 east/outputs;
+    /// `minor` = row).
+    Iob,
+    /// BRAM port-interface frames (`major` = BRAM column, `minor` = block).
+    BramInterface,
+    /// BRAM content frames (`major` = BRAM column,
+    /// `minor` = block × 4 + sub-frame).
+    BramContent,
+}
+
+/// Address of one configuration frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FrameAddr {
+    pub block: BlockType,
+    pub major: u32,
+    pub minor: u32,
+}
+
+impl FrameAddr {
+    pub fn clb(major: usize, minor: usize) -> Self {
+        FrameAddr {
+            block: BlockType::Clb,
+            major: major as u32,
+            minor: minor as u32,
+        }
+    }
+}
+
+/// Edge selector for IOB frames.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Edge {
+    /// West edge: input ports drive incoming west wires of column 0.
+    West = 0,
+    /// East edge: output ports sample outgoing east wires of the last column.
+    East = 1,
+}
+
+/// Bits per IOB entry: `[enable, port0..port7, invert]`.
+pub const IOB_ENTRY_BITS: usize = 10;
+/// Entries per IOB frame (one per boundary wire of the row).
+pub const IOB_ENTRIES_PER_ROW: usize = WIRES_PER_DIR;
+/// Bits per IOB frame.
+pub const IOB_FRAME_BITS: usize = IOB_ENTRIES_PER_ROW * IOB_ENTRY_BITS;
+
+/// Bits per BRAM interface frame (one block's port muxes).
+pub const BRAM_IF_BITS: usize = 256;
+/// Offset of address-pin mux `i` (0..8) in a BRAM interface frame.
+pub fn bram_if_addr_off(i: usize) -> usize {
+    debug_assert!(i < 8);
+    i * 8
+}
+/// Offset of data-in mux `i` (0..16).
+pub fn bram_if_din_off(i: usize) -> usize {
+    debug_assert!(i < 16);
+    64 + i * 8
+}
+/// Offset of the write-enable mux.
+pub const BRAM_IF_WE_OFF: usize = 192;
+/// Offset of the port-enable mux.
+pub const BRAM_IF_EN_OFF: usize = 200;
+
+/// Content sub-frames per BRAM block.
+pub const BRAM_CONTENT_SUBFRAMES: usize = 4;
+/// Bits per BRAM content frame.
+pub const BRAM_CONTENT_FRAME_BITS: usize = BRAM_BITS / BRAM_CONTENT_SUBFRAMES;
+
+/// A decoded IOB entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct IobEntry {
+    pub enabled: bool,
+    pub port: u8,
+    pub invert: bool,
+}
+
+impl IobEntry {
+    pub fn encode(self) -> u64 {
+        (self.enabled as u64) | ((self.port as u64) << 1) | ((self.invert as u64) << 9)
+    }
+
+    pub fn decode(v: u64) -> Self {
+        IobEntry {
+            enabled: v & 1 == 1,
+            port: ((v >> 1) & 0xff) as u8,
+            invert: (v >> 9) & 1 == 1,
+        }
+    }
+}
+
+/// Where a global configuration bit lives, semantically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BitLocus {
+    /// A CLB tile bit with its decoded role.
+    Clb { tile: Tile, role: BitRole },
+    /// An IOB entry bit.
+    Iob { edge: Edge, row: u16, wire: u8, bit: u8 },
+    /// A BRAM interface bit.
+    BramInterface { col: u16, block: u16, off: u16 },
+    /// A BRAM content (data) bit.
+    BramContent { col: u16, block: u16, bit: u16 },
+}
+
+/// The device's configuration memory: a flat bit store with frame and
+/// tile-field addressing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigMemory {
+    geom: Geometry,
+    bits: BitVec,
+    clb_frame_bits: usize,
+    clb_frames: usize,
+    iob_base: usize,
+    iob_frames: usize,
+    bram_if_base: usize,
+    bram_if_frames: usize,
+    bram_content_base: usize,
+    bram_content_frames: usize,
+    total_bits: usize,
+}
+
+impl ConfigMemory {
+    /// All-zero configuration memory for `geom`.
+    pub fn new(geom: Geometry) -> Self {
+        let clb_frame_bits = geom.rows * TILE_BITS_PER_FRAME;
+        let clb_frames = geom.cols * FRAMES_PER_CLB_COL;
+        let iob_base = clb_frames * clb_frame_bits;
+        let iob_frames = 2 * geom.rows;
+        let bram_if_base = iob_base + iob_frames * IOB_FRAME_BITS;
+        let bram_if_frames = geom.num_bram_blocks();
+        let bram_content_base = bram_if_base + bram_if_frames * BRAM_IF_BITS;
+        let bram_content_frames = geom.num_bram_blocks() * BRAM_CONTENT_SUBFRAMES;
+        let total_bits = bram_content_base + bram_content_frames * BRAM_CONTENT_FRAME_BITS;
+        ConfigMemory {
+            geom,
+            bits: BitVec::zeros(total_bits),
+            clb_frame_bits,
+            clb_frames,
+            iob_base,
+            iob_frames,
+            bram_if_base,
+            bram_if_frames,
+            bram_content_base,
+            bram_content_frames,
+            total_bits,
+        }
+    }
+
+    pub fn geometry(&self) -> &Geometry {
+        &self.geom
+    }
+
+    /// Total configuration bits (the "5.8 million bits" of paper §III-A for
+    /// the flight geometry).
+    pub fn total_bits(&self) -> usize {
+        self.total_bits
+    }
+
+    /// Total number of frames.
+    pub fn frame_count(&self) -> usize {
+        self.clb_frames + self.iob_frames + self.bram_if_frames + self.bram_content_frames
+    }
+
+    /// Length in bits of a frame of the given block type.
+    pub fn frame_bits(&self, block: BlockType) -> usize {
+        match block {
+            BlockType::Clb => self.clb_frame_bits,
+            BlockType::Iob => IOB_FRAME_BITS,
+            BlockType::BramInterface => BRAM_IF_BITS,
+            BlockType::BramContent => BRAM_CONTENT_FRAME_BITS,
+        }
+    }
+
+    /// Length in bytes of a frame as moved over the configuration port.
+    pub fn frame_bytes(&self, block: BlockType) -> usize {
+        self.frame_bits(block).div_ceil(8)
+    }
+
+    /// Dense index of a frame (0..frame_count), ordering CLB, IOB,
+    /// BRAM-interface, BRAM-content.
+    pub fn frame_index(&self, addr: FrameAddr) -> usize {
+        match addr.block {
+            BlockType::Clb => addr.major as usize * FRAMES_PER_CLB_COL + addr.minor as usize,
+            BlockType::Iob => self.clb_frames + addr.major as usize * self.geom.rows + addr.minor as usize,
+            BlockType::BramInterface => {
+                self.clb_frames
+                    + self.iob_frames
+                    + addr.major as usize * self.geom.bram_blocks_per_col()
+                    + addr.minor as usize
+            }
+            BlockType::BramContent => {
+                self.clb_frames
+                    + self.iob_frames
+                    + self.bram_if_frames
+                    + addr.major as usize * self.geom.bram_blocks_per_col() * BRAM_CONTENT_SUBFRAMES
+                    + addr.minor as usize
+            }
+        }
+    }
+
+    /// Inverse of [`ConfigMemory::frame_index`].
+    pub fn frame_addr(&self, index: usize) -> FrameAddr {
+        let mut i = index;
+        if i < self.clb_frames {
+            return FrameAddr {
+                block: BlockType::Clb,
+                major: (i / FRAMES_PER_CLB_COL) as u32,
+                minor: (i % FRAMES_PER_CLB_COL) as u32,
+            };
+        }
+        i -= self.clb_frames;
+        if i < self.iob_frames {
+            return FrameAddr {
+                block: BlockType::Iob,
+                major: (i / self.geom.rows) as u32,
+                minor: (i % self.geom.rows) as u32,
+            };
+        }
+        i -= self.iob_frames;
+        if i < self.bram_if_frames {
+            let per = self.geom.bram_blocks_per_col();
+            return FrameAddr {
+                block: BlockType::BramInterface,
+                major: (i / per) as u32,
+                minor: (i % per) as u32,
+            };
+        }
+        i -= self.bram_if_frames;
+        assert!(i < self.bram_content_frames, "frame index out of range");
+        let per = self.geom.bram_blocks_per_col() * BRAM_CONTENT_SUBFRAMES;
+        FrameAddr {
+            block: BlockType::BramContent,
+            major: (i / per) as u32,
+            minor: (i % per) as u32,
+        }
+    }
+
+    /// Iterate over all frame addresses in dense order.
+    pub fn frame_addrs(&self) -> impl Iterator<Item = FrameAddr> + '_ {
+        (0..self.frame_count()).map(|i| self.frame_addr(i))
+    }
+
+    /// Global bit index of the first bit of `addr`.
+    pub fn frame_base(&self, addr: FrameAddr) -> usize {
+        match addr.block {
+            BlockType::Clb => self.frame_index(addr) * self.clb_frame_bits,
+            BlockType::Iob => {
+                self.iob_base
+                    + (addr.major as usize * self.geom.rows + addr.minor as usize) * IOB_FRAME_BITS
+            }
+            BlockType::BramInterface => {
+                self.bram_if_base
+                    + (addr.major as usize * self.geom.bram_blocks_per_col()
+                        + addr.minor as usize)
+                        * BRAM_IF_BITS
+            }
+            BlockType::BramContent => {
+                self.bram_content_base
+                    + (addr.major as usize
+                        * self.geom.bram_blocks_per_col()
+                        * BRAM_CONTENT_SUBFRAMES
+                        + addr.minor as usize)
+                        * BRAM_CONTENT_FRAME_BITS
+            }
+        }
+    }
+
+    /// Serialize a frame to bytes.
+    pub fn read_frame(&self, addr: FrameAddr) -> Vec<u8> {
+        let base = self.frame_base(addr);
+        self.bits.range_to_bytes(base, self.frame_bits(addr.block))
+    }
+
+    /// Overwrite a frame from bytes.
+    pub fn write_frame(&mut self, addr: FrameAddr, data: &[u8]) {
+        let base = self.frame_base(addr);
+        self.bits
+            .range_from_bytes(base, self.frame_bits(addr.block), data);
+    }
+
+    /// Locate a global bit: which frame, and at what offset within it.
+    pub fn locate(&self, global: usize) -> (FrameAddr, usize) {
+        assert!(global < self.total_bits);
+        if global < self.iob_base {
+            let fi = global / self.clb_frame_bits;
+            (self.frame_addr(fi), global % self.clb_frame_bits)
+        } else if global < self.bram_if_base {
+            let g = global - self.iob_base;
+            let fi = g / IOB_FRAME_BITS;
+            (self.frame_addr(self.clb_frames + fi), g % IOB_FRAME_BITS)
+        } else if global < self.bram_content_base {
+            let g = global - self.bram_if_base;
+            let fi = g / BRAM_IF_BITS;
+            (
+                self.frame_addr(self.clb_frames + self.iob_frames + fi),
+                g % BRAM_IF_BITS,
+            )
+        } else {
+            let g = global - self.bram_content_base;
+            let fi = g / BRAM_CONTENT_FRAME_BITS;
+            (
+                self.frame_addr(self.clb_frames + self.iob_frames + self.bram_if_frames + fi),
+                g % BRAM_CONTENT_FRAME_BITS,
+            )
+        }
+    }
+
+    /// Semantic description of a global configuration bit.
+    pub fn describe(&self, global: usize) -> BitLocus {
+        let (addr, off) = self.locate(global);
+        match addr.block {
+            BlockType::Clb => {
+                let row = off / TILE_BITS_PER_FRAME;
+                let within = off % TILE_BITS_PER_FRAME;
+                let pos = addr.minor as usize * TILE_BITS_PER_FRAME + within;
+                BitLocus::Clb {
+                    tile: Tile::new(row, addr.major as usize),
+                    role: bits::bit_role(self.tile_off(pos)),
+                }
+            }
+            BlockType::Iob => BitLocus::Iob {
+                edge: if addr.major == 0 { Edge::West } else { Edge::East },
+                row: addr.minor as u16,
+                wire: (off / IOB_ENTRY_BITS) as u8,
+                bit: (off % IOB_ENTRY_BITS) as u8,
+            },
+            BlockType::BramInterface => BitLocus::BramInterface {
+                col: addr.major as u16,
+                block: addr.minor as u16,
+                off: off as u16,
+            },
+            BlockType::BramContent => {
+                let block = addr.minor as usize / BRAM_CONTENT_SUBFRAMES;
+                let sub = addr.minor as usize % BRAM_CONTENT_SUBFRAMES;
+                BitLocus::BramContent {
+                    col: addr.major as u16,
+                    block: block as u16,
+                    bit: (sub * BRAM_CONTENT_FRAME_BITS + off) as u16,
+                }
+            }
+        }
+    }
+
+    // ---- raw bit access -------------------------------------------------
+
+    #[inline]
+    pub fn get_bit(&self, global: usize) -> bool {
+        self.bits.get(global)
+    }
+
+    #[inline]
+    pub fn set_bit(&mut self, global: usize, v: bool) {
+        self.bits.set(global, v);
+    }
+
+    /// Flip a bit (the fault-injection primitive), returning its new value.
+    #[inline]
+    pub fn flip_bit(&mut self, global: usize) -> bool {
+        self.bits.flip(global)
+    }
+
+    // ---- tile-field access ----------------------------------------------
+
+    /// Frame position of a tile-relative offset under this geometry's
+    /// frame layout (paper §IV-A): Virtex interleaves in declaration
+    /// order; Virtex-II concentrates the truth-table bits into the first
+    /// frames of the column.
+    #[inline]
+    pub fn tile_pos(&self, off: usize) -> usize {
+        match self.geom.layout {
+            FrameLayout::Virtex => bits::v1_pos_of_off(off),
+            FrameLayout::Virtex2 => bits::v2_pos_of_off(off),
+        }
+    }
+
+    /// Inverse of [`ConfigMemory::tile_pos`].
+    #[inline]
+    pub fn tile_off(&self, pos: usize) -> usize {
+        match self.geom.layout {
+            FrameLayout::Virtex => bits::v1_off_of_pos(pos),
+            FrameLayout::Virtex2 => bits::v2_off_of_pos(pos),
+        }
+    }
+
+    /// Global bit index of tile-relative offset `off` of `tile`.
+    #[inline]
+    pub fn tile_bit_index(&self, tile: Tile, off: usize) -> usize {
+        debug_assert!(off < TILE_BITS);
+        let pos = self.tile_pos(off);
+        let frame = pos / TILE_BITS_PER_FRAME;
+        let within = pos % TILE_BITS_PER_FRAME;
+        (tile.col as usize * FRAMES_PER_CLB_COL + frame) * self.clb_frame_bits
+            + tile.row as usize * TILE_BITS_PER_FRAME
+            + within
+    }
+
+    /// Read an `n`-bit tile field starting at tile-relative offset `off`.
+    pub fn read_tile_field(&self, tile: Tile, off: usize, n: usize) -> u64 {
+        debug_assert!(n <= 64 && off + n <= TILE_BITS);
+        let mut v = 0u64;
+        for k in 0..n {
+            if self.bits.get(self.tile_bit_index(tile, off + k)) {
+                v |= 1 << k;
+            }
+        }
+        v
+    }
+
+    /// Write an `n`-bit tile field.
+    pub fn write_tile_field(&mut self, tile: Tile, off: usize, n: usize, v: u64) {
+        debug_assert!(n <= 64 && off + n <= TILE_BITS);
+        for k in 0..n {
+            let idx = self.tile_bit_index(tile, off + k);
+            self.bits.set(idx, (v >> k) & 1 == 1);
+        }
+    }
+
+    // ---- IOB access -------------------------------------------------------
+
+    /// Global bit index of bit `bit` of the IOB entry for (`edge`, `row`,
+    /// `wire`).
+    pub fn iob_bit_index(&self, edge: Edge, row: usize, wire: usize, bit: usize) -> usize {
+        debug_assert!(row < self.geom.rows && wire < IOB_ENTRIES_PER_ROW && bit < IOB_ENTRY_BITS);
+        self.iob_base
+            + (edge as usize * self.geom.rows + row) * IOB_FRAME_BITS
+            + wire * IOB_ENTRY_BITS
+            + bit
+    }
+
+    pub fn read_iob(&self, edge: Edge, row: usize, wire: usize) -> IobEntry {
+        let base = self.iob_bit_index(edge, row, wire, 0);
+        IobEntry::decode(self.bits.get_bits(base, IOB_ENTRY_BITS))
+    }
+
+    pub fn write_iob(&mut self, edge: Edge, row: usize, wire: usize, entry: IobEntry) {
+        let base = self.iob_bit_index(edge, row, wire, 0);
+        self.bits.set_bits(base, IOB_ENTRY_BITS, entry.encode());
+    }
+
+    // ---- BRAM access ------------------------------------------------------
+
+    /// Global bit index of offset `off` in block (`col`, `block`)'s
+    /// interface frame.
+    pub fn bram_if_index(&self, col: usize, block: usize, off: usize) -> usize {
+        debug_assert!(off < BRAM_IF_BITS);
+        self.bram_if_base
+            + (col * self.geom.bram_blocks_per_col() + block) * BRAM_IF_BITS
+            + off
+    }
+
+    pub fn read_bram_if_field(&self, col: usize, block: usize, off: usize, n: usize) -> u64 {
+        self.bits.get_bits(self.bram_if_index(col, block, off), n)
+    }
+
+    pub fn write_bram_if_field(&mut self, col: usize, block: usize, off: usize, n: usize, v: u64) {
+        let base = self.bram_if_index(col, block, off);
+        self.bits.set_bits(base, n, v);
+    }
+
+    /// Global bit index of content bit `bit` of block (`col`, `block`).
+    pub fn bram_content_index(&self, col: usize, block: usize, bit: usize) -> usize {
+        debug_assert!(bit < BRAM_BITS);
+        self.bram_content_base
+            + (col * self.geom.bram_blocks_per_col()) * BRAM_BITS
+            + block * BRAM_BITS
+            + bit
+    }
+
+    /// Read a 16-bit BRAM word at `addr` of block (`col`, `block`).
+    pub fn read_bram_word(&self, col: usize, block: usize, addr: usize) -> u16 {
+        let base = self.bram_content_index(col, block, addr * 16);
+        self.bits.get_bits(base, 16) as u16
+    }
+
+    /// Write a 16-bit BRAM word.
+    pub fn write_bram_word(&mut self, col: usize, block: usize, addr: usize, v: u16) {
+        let base = self.bram_content_index(col, block, addr * 16);
+        self.bits.set_bits(base, 16, v as u64);
+    }
+
+    /// Bits that differ from `other` (used by readback-compare scrubbers and
+    /// the test suite). Both memories must share a geometry.
+    pub fn diff(&self, other: &ConfigMemory) -> Vec<usize> {
+        assert_eq!(self.total_bits, other.total_bits);
+        self.bits.diff_range(&other.bits, 0, self.total_bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bits::{input_mux_offset, lut_table_offset, MuxPin};
+
+    #[test]
+    fn frame_index_roundtrip() {
+        let cm = ConfigMemory::new(Geometry::tiny());
+        for i in 0..cm.frame_count() {
+            let addr = cm.frame_addr(i);
+            assert_eq!(cm.frame_index(addr), i, "frame {i} ↔ {addr:?}");
+        }
+    }
+
+    #[test]
+    fn frame_bases_are_disjoint_and_cover() {
+        let cm = ConfigMemory::new(Geometry::tiny());
+        let mut covered = 0usize;
+        let mut spans: Vec<(usize, usize)> = cm
+            .frame_addrs()
+            .map(|a| (cm.frame_base(a), cm.frame_bits(a.block)))
+            .collect();
+        spans.sort();
+        for w in spans.windows(2) {
+            assert_eq!(w[0].0 + w[0].1, w[1].0, "gap or overlap at {w:?}");
+        }
+        for (_, len) in &spans {
+            covered += len;
+        }
+        assert_eq!(covered, cm.total_bits());
+    }
+
+    #[test]
+    fn tile_field_roundtrip_and_frame_mapping() {
+        let mut cm = ConfigMemory::new(Geometry::tiny());
+        let t = Tile::new(3, 5);
+        let off = lut_table_offset(1, 0, 0);
+        cm.write_tile_field(t, off, 16, 0xCAFE);
+        assert_eq!(cm.read_tile_field(t, off, 16), 0xCAFE);
+        // The bits must land in CLB frames of column 5.
+        for k in 0..16 {
+            let (addr, _) = cm.locate(cm.tile_bit_index(t, off + k));
+            assert_eq!(addr.block, BlockType::Clb);
+            assert_eq!(addr.major, 5);
+        }
+        // Distinct tiles never alias.
+        cm.write_tile_field(Tile::new(3, 6), off, 16, 0x0000);
+        assert_eq!(cm.read_tile_field(t, off, 16), 0xCAFE);
+    }
+
+    #[test]
+    fn frame_readback_roundtrip() {
+        let mut cm = ConfigMemory::new(Geometry::tiny());
+        let t = Tile::new(2, 2);
+        cm.write_tile_field(t, input_mux_offset(0, MuxPin::Bx), 8, 0x5A);
+        for addr in cm.frame_addrs().collect::<Vec<_>>() {
+            let data = cm.read_frame(addr);
+            let mut cm2 = cm.clone();
+            cm2.write_frame(addr, &data);
+            assert_eq!(cm, cm2);
+        }
+    }
+
+    #[test]
+    fn locate_and_describe_every_region() {
+        let cm = ConfigMemory::new(Geometry::tiny());
+        // One representative bit per region.
+        let clb = cm.tile_bit_index(Tile::new(0, 0), 0);
+        assert!(matches!(cm.describe(clb), BitLocus::Clb { .. }));
+        let iob = cm.iob_bit_index(Edge::West, 0, 0, 0);
+        assert!(matches!(
+            cm.describe(iob),
+            BitLocus::Iob {
+                edge: Edge::West,
+                ..
+            }
+        ));
+        let bif = cm.bram_if_index(0, 0, 5);
+        assert!(matches!(cm.describe(bif), BitLocus::BramInterface { .. }));
+        let bct = cm.bram_content_index(0, 0, 17);
+        match cm.describe(bct) {
+            BitLocus::BramContent { bit, .. } => assert_eq!(bit, 17),
+            other => panic!("wrong locus {other:?}"),
+        }
+    }
+
+    #[test]
+    fn locate_is_consistent_with_frame_base() {
+        let cm = ConfigMemory::new(Geometry::tiny());
+        let step = 979; // co-prime stride samples the whole space
+        let mut i = 0;
+        while i < cm.total_bits() {
+            let (addr, off) = cm.locate(i);
+            assert_eq!(cm.frame_base(addr) + off, i);
+            assert!(off < cm.frame_bits(addr.block));
+            i += step;
+        }
+    }
+
+    #[test]
+    fn iob_entry_roundtrip() {
+        let mut cm = ConfigMemory::new(Geometry::tiny());
+        let e = IobEntry {
+            enabled: true,
+            port: 42,
+            invert: true,
+        };
+        cm.write_iob(Edge::East, 3, 7, e);
+        assert_eq!(cm.read_iob(Edge::East, 3, 7), e);
+        assert_eq!(cm.read_iob(Edge::West, 3, 7), IobEntry::default());
+    }
+
+    #[test]
+    fn bram_word_roundtrip() {
+        let mut cm = ConfigMemory::new(Geometry::tiny());
+        for a in 0..8 {
+            cm.write_bram_word(0, 0, a, (a * 0x101) as u16);
+        }
+        for a in 0..8 {
+            assert_eq!(cm.read_bram_word(0, 0, a), (a * 0x101) as u16);
+        }
+    }
+
+    #[test]
+    fn flip_bit_shows_in_frame_diff() {
+        let mut cm = ConfigMemory::new(Geometry::small());
+        let golden = cm.clone();
+        let target = cm.tile_bit_index(Tile::new(4, 4), 100);
+        cm.flip_bit(target);
+        assert_eq!(cm.diff(&golden), vec![target]);
+        let (addr, off) = cm.locate(target);
+        let dirty = cm.read_frame(addr);
+        let clean = golden.read_frame(addr);
+        assert_ne!(dirty, clean);
+        assert_eq!(dirty[off / 8] ^ clean[off / 8], 1 << (off % 8));
+    }
+}

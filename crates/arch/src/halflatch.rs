@@ -1,0 +1,132 @@
+//! Half-latch hidden state (paper §III-C).
+//!
+//! A half-latch is a weak keeper that supplies a constant to an unconnected
+//! resource input. It is *not* part of configuration memory: readback does
+//! not see it, partial reconfiguration does not restore it, and only the
+//! full-configuration start-up sequence initialises it (to 1 at node A of
+//! paper Fig. 13). A radiation upset can invert it, silently disabling e.g.
+//! a clock-enable the CAD tools wired to "constant 1" (paper Fig. 14), and
+//! it may spontaneously recover — "a stochastic process" observed during
+//! proton testing.
+
+use std::collections::HashMap;
+
+use crate::geometry::Tile;
+
+/// Location of a potential half-latch: an input multiplexer left
+/// unconnected by the design.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum HlSite {
+    /// An unconnected slice input mux (`pin` is a [`crate::bits::MuxPin`]
+    /// dense index).
+    Slice { tile: Tile, slice: u8, pin: u8 },
+    /// An unconnected BRAM port mux (`pin`: 0..8 addr, 8..24 din, 24 we,
+    /// 25 en).
+    Bram { col: u16, block: u16, pin: u8 },
+}
+
+/// The device's half-latch population.
+///
+/// Healthy latches hold `true` (node A = 1); only upset latches are stored.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HalfLatches {
+    upset: HashMap<HlSite, bool>,
+}
+
+impl HalfLatches {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current node-A value at `site` (true unless upset).
+    #[inline]
+    pub fn value(&self, site: HlSite) -> bool {
+        *self.upset.get(&site).unwrap_or(&true)
+    }
+
+    /// Invert the latch at `site` (an SEU strike).
+    pub fn upset(&mut self, site: HlSite) {
+        let v = self.value(site);
+        if v {
+            self.upset.insert(site, false);
+        } else {
+            self.upset.remove(&site);
+        }
+    }
+
+    /// Restore `site` to its healthy value (spontaneous recovery).
+    pub fn recover(&mut self, site: HlSite) {
+        self.upset.remove(&site);
+    }
+
+    /// Restore every latch (the full-configuration start-up sequence —
+    /// "the only reliable recovery process").
+    pub fn startup_init(&mut self) {
+        self.upset.clear();
+    }
+
+    /// Sites currently holding an inverted value.
+    pub fn upset_sites(&self) -> impl Iterator<Item = HlSite> + '_ {
+        self.upset.keys().copied()
+    }
+
+    /// Number of upset latches.
+    pub fn upset_count(&self) -> usize {
+        self.upset.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn site() -> HlSite {
+        HlSite::Slice {
+            tile: Tile::new(1, 2),
+            slice: 0,
+            pin: 10,
+        }
+    }
+
+    #[test]
+    fn healthy_by_default() {
+        let hl = HalfLatches::new();
+        assert!(hl.value(site()));
+        assert_eq!(hl.upset_count(), 0);
+    }
+
+    #[test]
+    fn upset_inverts_and_double_upset_restores() {
+        let mut hl = HalfLatches::new();
+        hl.upset(site());
+        assert!(!hl.value(site()));
+        assert_eq!(hl.upset_count(), 1);
+        hl.upset(site());
+        assert!(hl.value(site()));
+        assert_eq!(hl.upset_count(), 0, "re-inverted latch is healthy again");
+    }
+
+    #[test]
+    fn startup_clears_all() {
+        let mut hl = HalfLatches::new();
+        hl.upset(site());
+        hl.upset(HlSite::Bram {
+            col: 0,
+            block: 1,
+            pin: 24,
+        });
+        assert_eq!(hl.upset_count(), 2);
+        hl.startup_init();
+        assert_eq!(hl.upset_count(), 0);
+        assert!(hl.value(site()));
+    }
+
+    #[test]
+    fn recover_is_idempotent() {
+        let mut hl = HalfLatches::new();
+        hl.upset(site());
+        hl.recover(site());
+        hl.recover(site());
+        assert!(hl.value(site()));
+    }
+}

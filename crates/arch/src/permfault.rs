@@ -1,0 +1,111 @@
+//! Permanent-fault overlay (paper §II-B).
+//!
+//! Hard failures — opens and shorts — manifest as stuck-at values on
+//! routing wires or logic outputs. Unlike SEUs they survive any amount of
+//! reconfiguration; the BIST configurations of §II-B exist to detect and
+//! isolate them.
+
+use std::collections::HashMap;
+
+use crate::geometry::Tile;
+
+/// A physical resource that can be stuck.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum FaultSite {
+    /// An outgoing single-length wire (`wire` is the flat 0..96 index:
+    /// `dir × 24 + idx`).
+    Wire { tile: Tile, wire: u8 },
+    /// A slice output (`out`: 0 = X, 1 = Y).
+    SliceOut { tile: Tile, slice: u8, out: u8 },
+    /// A LUT output inside a slice.
+    LutOut { tile: Tile, slice: u8, lut: u8 },
+}
+
+/// The device's permanent stuck-at faults.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PermFaults {
+    stuck: HashMap<FaultSite, bool>,
+}
+
+impl PermFaults {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inject a stuck-at-`value` fault.
+    pub fn insert(&mut self, site: FaultSite, value: bool) {
+        self.stuck.insert(site, value);
+    }
+
+    /// Remove a fault (device replacement in the paper's socketed-DUT
+    /// sense).
+    pub fn remove(&mut self, site: FaultSite) {
+        self.stuck.remove(&site);
+    }
+
+    /// Stuck value at `site`, if faulty.
+    #[inline]
+    pub fn get(&self, site: FaultSite) -> Option<bool> {
+        self.stuck.get(&site).copied()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.stuck.is_empty()
+    }
+
+    pub fn len(&self) -> usize {
+        self.stuck.len()
+    }
+
+    pub fn sites(&self) -> impl Iterator<Item = (FaultSite, bool)> + '_ {
+        self.stuck.iter().map(|(s, v)| (*s, *v))
+    }
+
+    pub fn clear(&mut self) {
+        self.stuck.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_remove() {
+        let mut pf = PermFaults::new();
+        let w = FaultSite::Wire {
+            tile: Tile::new(0, 0),
+            wire: 5,
+        };
+        assert_eq!(pf.get(w), None);
+        pf.insert(w, true);
+        assert_eq!(pf.get(w), Some(true));
+        pf.insert(w, false);
+        assert_eq!(pf.get(w), Some(false), "reinsert overrides");
+        pf.remove(w);
+        assert_eq!(pf.get(w), None);
+        assert!(pf.is_empty());
+    }
+
+    #[test]
+    fn distinct_sites_do_not_alias() {
+        let mut pf = PermFaults::new();
+        pf.insert(
+            FaultSite::SliceOut {
+                tile: Tile::new(1, 1),
+                slice: 0,
+                out: 0,
+            },
+            true,
+        );
+        assert_eq!(
+            pf.get(FaultSite::SliceOut {
+                tile: Tile::new(1, 1),
+                slice: 0,
+                out: 1,
+            }),
+            None
+        );
+        assert_eq!(pf.len(), 1);
+    }
+}

@@ -1,0 +1,295 @@
+//! The SelectMAP-style configuration port (paper §II-A, §IV).
+//!
+//! Three operations, all frame-granular and all usable while the design
+//! executes: full configuration (the only operation that runs the start-up
+//! sequence and therefore the only one that restores half-latches),
+//! frame-wise partial configuration, and frame-wise readback. Each returns
+//! the simulated-time cost of moving the bytes over the byte-wide port so
+//! fault managers can reproduce the paper's 180 ms scan cycle and the SEU
+//! simulator its 100 µs single-frame load.
+//!
+//! The readback hazards the paper documents are modelled here:
+//!
+//! * Reading a CLB frame that holds the truth table of a LUT used as RAM
+//!   or SRL16 while the clock runs corrupts that LUT's contents.
+//! * Reading a BRAM content frame corrupts the block's output register and
+//!   steals its address lines for a couple of cycles.
+//! * Readback of an unprogrammed device returns garbage.
+
+use crate::bits::{lut_mode_offset, lut_table_offset, FRAMES_PER_CLB_COL, TILE_BITS_PER_FRAME};
+use crate::bits::{ff_init_offset, LutMode};
+use crate::device::{Bitstream, Device};
+use crate::frames::{BlockType, FrameAddr, BRAM_CONTENT_SUBFRAMES};
+use crate::geometry::Tile;
+use crate::time::SimDuration;
+
+/// Configuration-port cost model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PortTiming {
+    /// Nanoseconds to move one byte over the port (byte-wide SelectMAP at
+    /// 50 MHz ⇒ 20 ns).
+    pub ns_per_byte: u64,
+    /// Fixed command overhead per frame operation (address setup, sync
+    /// words).
+    pub op_overhead_ns: u64,
+    /// Start-up sequence cost after a full configuration.
+    pub startup_ns: u64,
+}
+
+impl Default for PortTiming {
+    fn default() -> Self {
+        PortTiming {
+            ns_per_byte: 20,
+            op_overhead_ns: 2_000,
+            startup_ns: 100_000,
+        }
+    }
+}
+
+impl PortTiming {
+    fn frame_op(&self, bytes: usize) -> SimDuration {
+        SimDuration::from_nanos(self.op_overhead_ns + bytes as u64 * self.ns_per_byte)
+    }
+}
+
+/// Options for a readback operation.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ReadbackOptions {
+    /// Capture current flip-flop values into their init-bit positions
+    /// (the Virtex CAPTURE mechanism; used by the BIST wire test).
+    pub capture_ff: bool,
+}
+
+impl Device {
+    /// Full configuration: load every frame and run the start-up sequence.
+    /// This is the only operation that re-initialises half-latches.
+    pub fn configure_full(&mut self, bs: &Bitstream) -> SimDuration {
+        assert_eq!(
+            bs.geometry(),
+            &self.geom,
+            "bitstream geometry does not match device"
+        );
+        self.config = bs.clone();
+        self.invalidate();
+        self.half_latches.startup_init();
+        self.programmed = true;
+        self.cycles = 0;
+        self.design_wrote_config = false;
+        for l in self.bram_locked.iter_mut() {
+            *l = 0;
+        }
+        self.reset();
+        let total_bytes: usize = self
+            .config
+            .frame_addrs()
+            .map(|a| self.config.frame_bytes(a.block))
+            .sum();
+        SimDuration::from_nanos(
+            self.port_timing.op_overhead_ns
+                + total_bytes as u64 * self.port_timing.ns_per_byte
+                + self.port_timing.startup_ns,
+        )
+    }
+
+    /// Partial configuration: overwrite one frame while the design runs.
+    /// Does not touch flip-flop state or half-latches — exactly why the
+    /// paper's scrubber can repair SEUs without interrupting service, and
+    /// why it cannot repair half-latch upsets.
+    pub fn partial_configure_frame(&mut self, addr: FrameAddr, data: &[u8]) -> SimDuration {
+        self.config.write_frame(addr, data);
+        self.invalidate();
+        self.port_timing.frame_op(self.config.frame_bytes(addr.block))
+    }
+
+    /// Readback: serialize one frame while the design runs.
+    pub fn readback_frame(
+        &mut self,
+        addr: FrameAddr,
+        opts: ReadbackOptions,
+    ) -> (Vec<u8>, SimDuration) {
+        let dur = self.port_timing.frame_op(self.config.frame_bytes(addr.block));
+        if !self.programmed {
+            // The configuration FSM is upset: readback returns garbage.
+            let n = self.config.frame_bytes(addr.block);
+            let mut seed = (self.config.frame_index(addr) as u64)
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(self.hazard_counter);
+            self.hazard_counter = self.hazard_counter.wrapping_add(1);
+            let data = (0..n)
+                .map(|_| {
+                    seed ^= seed << 13;
+                    seed ^= seed >> 7;
+                    seed ^= seed << 17;
+                    (seed & 0xff) as u8
+                })
+                .collect();
+            return (data, dur);
+        }
+
+        // Hazard: dynamic LUT contents corrupt if their frame is read while
+        // the clock runs.
+        if self.clock_running && addr.block == BlockType::Clb {
+            self.corrupt_dynamic_luts_in_frame(addr);
+        }
+        // Hazard: BRAM content readback corrupts the output register and
+        // locks the block's port.
+        if self.clock_running && addr.block == BlockType::BramContent {
+            let col = addr.major as usize;
+            let block = addr.minor as usize / BRAM_CONTENT_SUBFRAMES;
+            let reg = col * self.geom.bram_blocks_per_col() + block;
+            self.bram_outreg[reg] ^= 0xA5A5;
+            self.bram_locked[reg] = 2;
+        }
+
+        let mut data = self.config.read_frame(addr);
+        if opts.capture_ff && addr.block == BlockType::Clb {
+            self.capture_ffs_into(addr, &mut data);
+        }
+        (data, dur)
+    }
+
+    /// Flip one configuration bit directly (test/bench convenience; a real
+    /// injector reads, flips, and rewrites the containing frame, which is
+    /// what [`crate::selectmap`]-level campaigns do).
+    ///
+    /// Bits that cannot change network *structure* — LUT truth-table bits,
+    /// FF init values, BRAM contents, padding — are patched into the
+    /// compiled cache in place; structural bits (routing, modes, port
+    /// bindings) invalidate it. Fault-injection campaigns flip millions of
+    /// bits, so this distinction is the difference between a memcpy and a
+    /// full recompile per experiment.
+    pub fn flip_config_bit(&mut self, global: usize) {
+        use crate::bits::BitRole;
+        use crate::frames::BitLocus;
+
+        let new_val = self.config.flip_bit(global);
+        if self.compiled.is_none() {
+            return;
+        }
+        enum Patch {
+            None,
+            LutTable { key: usize, bit: u8 },
+            FfInit { key: usize },
+            Invalidate,
+        }
+        let patch = match self.config.describe(global) {
+            BitLocus::Clb { tile, role } => match role {
+                BitRole::LutTable { slice, lut, bit } => Patch::LutTable {
+                    key: self.geom.tile_index(tile) * 4 + slice as usize * 2 + lut as usize,
+                    bit,
+                },
+                BitRole::FfInit { slice, ff } => Patch::FfInit {
+                    key: self.ff_index(tile, slice as usize, ff as usize),
+                },
+                BitRole::SliceReserved { .. } | BitRole::Pad => Patch::None,
+                _ => Patch::Invalidate,
+            },
+            // BRAM content is read live from configuration memory.
+            BitLocus::BramContent { .. } => Patch::None,
+            _ => Patch::Invalidate,
+        };
+        match patch {
+            Patch::None => {}
+            Patch::Invalidate => self.invalidate(),
+            Patch::LutTable { key, bit } => {
+                let compiled = self.compiled.as_mut().unwrap();
+                let id = compiled.lut_site_index[key];
+                if id != u32::MAX {
+                    let t = &mut compiled.luts[id as usize].table;
+                    if new_val {
+                        *t |= 1 << bit;
+                    } else {
+                        *t &= !(1 << bit);
+                    }
+                }
+            }
+            Patch::FfInit { key } => {
+                let compiled = self.compiled.as_mut().unwrap();
+                let id = compiled.ff_site_index[key];
+                if id != u32::MAX {
+                    compiled.ffs[id as usize].init = new_val;
+                }
+            }
+        }
+    }
+
+    fn corrupt_dynamic_luts_in_frame(&mut self, addr: FrameAddr) {
+        let col = addr.major as usize;
+        let minor = addr.minor as usize;
+        let mut corrupted = false;
+        for slice in 0..2 {
+            for lut in 0..2 {
+                let table_off = lut_table_offset(slice, lut, 0);
+                // Does any of this LUT's 16 table bits live in this frame?
+                let hit = (0..16).any(|b| {
+                    self.config.tile_pos(table_off + b) / TILE_BITS_PER_FRAME == minor
+                });
+                if !hit {
+                    continue;
+                }
+                for row in 0..self.geom.rows {
+                    let tile = Tile::new(row, col);
+                    let mode = LutMode::from_bits(self.config.read_tile_field(
+                        tile,
+                        lut_mode_offset(slice, lut),
+                        2,
+                    ));
+                    if mode.is_dynamic() {
+                        let bit = (self.hazard_counter % 16) as usize;
+                        self.hazard_counter = self.hazard_counter.wrapping_add(1);
+                        let idx = self.config.tile_bit_index(tile, table_off + bit);
+                        self.config.flip_bit(idx);
+                        corrupted = true;
+                    }
+                }
+            }
+        }
+        if corrupted {
+            self.invalidate();
+        }
+    }
+
+    fn capture_ffs_into(&self, addr: FrameAddr, data: &mut [u8]) {
+        let col = addr.major as usize;
+        let minor = addr.minor as usize;
+        for slice in 0..2 {
+            for ff in 0..2 {
+                let pos = self.config.tile_pos(ff_init_offset(slice, ff));
+                if pos / TILE_BITS_PER_FRAME != minor {
+                    continue;
+                }
+                let within = pos % TILE_BITS_PER_FRAME;
+                for row in 0..self.geom.rows {
+                    let v = self.ff(Tile::new(row, col), slice, ff);
+                    let pos = row * TILE_BITS_PER_FRAME + within;
+                    if v {
+                        data[pos / 8] |= 1 << (pos % 8);
+                    } else {
+                        data[pos / 8] &= !(1 << (pos % 8));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Read back the whole device (every frame), returning total simulated
+    /// time — the building block of the scrubber's scan cycle.
+    pub fn readback_all(
+        &mut self,
+        opts: ReadbackOptions,
+    ) -> (Vec<(FrameAddr, Vec<u8>)>, SimDuration) {
+        let addrs: Vec<FrameAddr> = self.config.frame_addrs().collect();
+        let mut total = SimDuration::ZERO;
+        let mut frames = Vec::with_capacity(addrs.len());
+        for addr in addrs {
+            let (data, d) = self.readback_frame(addr, opts);
+            total += d;
+            frames.push((addr, data));
+        }
+        (frames, total)
+    }
+}
+
+/// Number of CLB frames per column (re-exported for fault managers sizing
+/// their CRC codebooks).
+pub const CLB_FRAMES_PER_COL: usize = FRAMES_PER_CLB_COL;

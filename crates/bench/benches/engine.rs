@@ -1,0 +1,97 @@
+//! Host-side performance of the execution substrate: configuration-memory
+//! compilation and cycle stepping, per design class. These are the costs
+//! every fault-injection experiment pays, so they bound campaign
+//! throughput (the software counterpart of the paper's hardware-speed
+//! argument).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use cibola::designs::PaperDesign;
+use cibola::prelude::*;
+
+fn designs() -> Vec<(String, Implementation)> {
+    let geom = Geometry::tiny();
+    [
+        PaperDesign::CounterAdder { width: 8 },
+        PaperDesign::LfsrScaled {
+            clusters: 2,
+            bits: 10,
+        },
+        PaperDesign::Mult { width: 5 },
+    ]
+    .into_iter()
+    .map(|d| {
+        (
+            d.label(),
+            implement(&d.netlist(), &geom).expect("implements"),
+        )
+    })
+    .collect()
+}
+
+fn bench_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("device_step");
+    for (label, imp) in designs() {
+        let mut dev = Device::new(imp.bitstream.geometry().clone());
+        dev.configure_full(&imp.bitstream);
+        let inputs = vec![false; dev.num_inputs().max(1)];
+        dev.step(&inputs); // warm the compiled network
+        group.bench_with_input(BenchmarkId::from_parameter(&label), &(), |b, _| {
+            b.iter(|| dev.step(std::hint::black_box(&inputs)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_compile(c: &mut Criterion) {
+    let mut group = c.benchmark_group("config_compile");
+    for (label, imp) in designs() {
+        let mut dev = Device::new(imp.bitstream.geometry().clone());
+        dev.configure_full(&imp.bitstream);
+        let inputs = vec![false; dev.num_inputs().max(1)];
+        // Force a structural recompile each iteration by touching a
+        // routing bit (the cost an injected routing upset pays).
+        let mut probe = dev.clone();
+        let routing_bit = *probe
+            .active_config_bits()
+            .iter()
+            .find(|&&b| {
+                matches!(
+                    imp.bitstream.describe(b),
+                    cibola::arch::BitLocus::Clb {
+                        role: cibola::arch::bits::BitRole::Pip { .. },
+                        ..
+                    }
+                )
+            })
+            .expect("design routes through PIPs");
+        group.bench_with_input(BenchmarkId::from_parameter(&label), &(), |b, _| {
+            b.iter(|| {
+                dev.flip_config_bit(routing_bit);
+                let out = dev.step(&inputs);
+                dev.flip_config_bit(routing_bit);
+                std::hint::black_box(out)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_flow(c: &mut Criterion) {
+    let mut group = c.benchmark_group("implement_flow");
+    group.sample_size(20);
+    let geom = Geometry::tiny();
+    for d in [
+        PaperDesign::CounterAdder { width: 8 },
+        PaperDesign::Mult { width: 5 },
+    ] {
+        let nl = d.netlist();
+        group.bench_with_input(BenchmarkId::from_parameter(d.label()), &(), |b, _| {
+            b.iter(|| implement(std::hint::black_box(&nl), &geom).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_step, bench_compile, bench_flow);
+criterion_main!(benches);

@@ -1,0 +1,93 @@
+//! The Fig. 8 injection loop, host side: cost of one corrupt→run→repair
+//! experiment, split by configuration-bit class. Truth-table bits take the
+//! compiled-cache patch fast path; routing bits force a recompile — the
+//! two poles of campaign throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use cibola::designs::PaperDesign;
+use cibola::inject::inject_one_with;
+use cibola::prelude::*;
+
+fn pick_bit(imp: &Implementation, dev: &mut Device, want_lut_table: bool) -> usize {
+    *dev.active_config_bits()
+        .iter()
+        .find(|&&b| {
+            let is_table = matches!(
+                imp.bitstream.describe(b),
+                cibola::arch::BitLocus::Clb {
+                    role: cibola::arch::bits::BitRole::LutTable { .. },
+                    ..
+                }
+            );
+            is_table == want_lut_table
+        })
+        .expect("bit of requested class")
+}
+
+fn bench_single_injection(c: &mut Criterion) {
+    let geom = Geometry::tiny();
+    let nl = PaperDesign::CounterAdder { width: 8 }.netlist();
+    let imp = implement(&nl, &geom).unwrap();
+    let tb = Testbed::new(&imp, 7, 96);
+    let cfg = CampaignConfig {
+        observe_cycles: 64,
+        classify_persistence: false,
+        ..Default::default()
+    };
+
+    let mut group = c.benchmark_group("inject_one");
+    let mut probe = tb.base.clone();
+    for (name, want_table) in [("lut_table_bit", true), ("routing_bit", false)] {
+        let bit = pick_bit(&imp, &mut probe, want_table);
+        let mut dut = tb.base.clone();
+        group.bench_with_input(BenchmarkId::from_parameter(name), &(), |b, _| {
+            b.iter(|| {
+                std::hint::black_box(inject_one_with(&mut dut, &tb, &cfg, bit));
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_campaign_chunk(c: &mut Criterion) {
+    let geom = Geometry::tiny();
+    let nl = PaperDesign::LfsrScaled {
+        clusters: 1,
+        bits: 8,
+    }
+    .netlist();
+    let imp = implement(&nl, &geom).unwrap();
+    let tb = Testbed::new(&imp, 9, 64);
+    let mut probe = tb.base.clone();
+    let bits: Vec<usize> = probe.active_config_bits().into_iter().take(256).collect();
+    let cfg = CampaignConfig {
+        observe_cycles: 32,
+        classify_persistence: false,
+        selection: BitSelection::List(bits.clone()),
+        parallel: false,
+        ..Default::default()
+    };
+
+    let mut group = c.benchmark_group("campaign");
+    group.sample_size(10);
+    group.throughput(criterion::Throughput::Elements(bits.len() as u64));
+    group.bench_function("256_active_bits_serial", |b| {
+        b.iter(|| std::hint::black_box(run_campaign(&tb, &cfg)))
+    });
+    group.finish();
+}
+
+fn bench_active_closure(c: &mut Criterion) {
+    let geom = Geometry::tiny();
+    let nl = PaperDesign::Mult { width: 5 }.netlist();
+    let imp = implement(&nl, &geom).unwrap();
+    let mut dev = Device::new(geom);
+    dev.configure_full(&imp.bitstream);
+    c.bench_function("active_closure_analysis", |b| {
+        b.iter(|| std::hint::black_box(dev.active_config_bits()))
+    });
+}
+
+criterion_group!(benches, bench_single_injection, bench_campaign_chunk, bench_active_closure);
+criterion_main!(benches);

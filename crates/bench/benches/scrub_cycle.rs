@@ -1,0 +1,67 @@
+//! Host-side cost of the scrubbing primitives: frame readback, CRC-32
+//! streaming, a full device scan, and the SECDED flash fetch behind a
+//! repair — the operations the Fig. 4 loop performs every ≈180 ms.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use cibola::designs::PaperDesign;
+use cibola::prelude::*;
+use cibola::scrub::{crc32, masked_frames_for, CrcCodebook, Flash};
+
+fn bench_crc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("crc32");
+    for size in [240usize, 1920, 16_384] {
+        let data: Vec<u8> = (0..size).map(|i| (i * 31) as u8).collect();
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(size), &data, |b, d| {
+            b.iter(|| std::hint::black_box(crc32(d)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_scan(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fault_manager_scan");
+    group.sample_size(20);
+    for geom in [Geometry::tiny(), Geometry::small()] {
+        let nl = PaperDesign::CounterAdder { width: 6 }.netlist();
+        let imp = implement(&nl, &geom).unwrap();
+        let masked = masked_frames_for(&imp.bitstream);
+        let mgr = FaultManager::new(CrcCodebook::new(&imp.bitstream, &masked));
+        let mut dev = Device::new(geom.clone());
+        dev.configure_full(&imp.bitstream);
+        group.throughput(Throughput::Elements(imp.bitstream.frame_count() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(&geom.name), &(), |b, _| {
+            b.iter(|| std::hint::black_box(mgr.scan(&mut dev)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_repair_path(c: &mut Criterion) {
+    // Detect → fetch golden frame from ECC flash → partial reconfigure.
+    let geom = Geometry::tiny();
+    let nl = PaperDesign::CounterAdder { width: 6 }.netlist();
+    let imp = implement(&nl, &geom).unwrap();
+    let mut flash = Flash::default();
+    let slot = flash.store("app", &imp.bitstream).unwrap();
+    let mut dev = Device::new(geom.clone());
+    dev.configure_full(&imp.bitstream);
+    let mut probe = dev.clone();
+    let victim = probe.active_config_bits()[17];
+    let (addr, _) = imp.bitstream.locate(victim);
+    let fi = imp.bitstream.frame_index(addr);
+
+    c.bench_function("detect_fetch_repair", |b| {
+        b.iter(|| {
+            dev.flip_config_bit(victim);
+            let mut stats = cibola::scrub::EccStats::default();
+            let (bytes, _) = flash.read_frame(slot, fi, &mut stats).unwrap();
+            let d = dev.partial_configure_frame(addr, &bytes);
+            std::hint::black_box(d)
+        })
+    });
+}
+
+criterion_group!(benches, bench_crc, bench_scan, bench_repair_path);
+criterion_main!(benches);

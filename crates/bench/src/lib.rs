@@ -1,0 +1,53 @@
+//! Shared helpers for the cibola experiment binaries (one per paper table
+//! and figure — see DESIGN.md §3 and EXPERIMENTS.md for the index).
+
+use cibola::prelude::*;
+
+/// Parse `--key value` style arguments with defaults.
+pub struct Args {
+    raw: Vec<String>,
+}
+
+impl Args {
+    pub fn parse() -> Self {
+        Args {
+            raw: std::env::args().skip(1).collect(),
+        }
+    }
+
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.raw
+            .iter()
+            .position(|a| a == key)
+            .and_then(|i| self.raw.get(i + 1))
+            .map(|s| s.as_str())
+    }
+
+    pub fn f64(&self, key: &str, default: f64) -> f64 {
+        self.get(key).and_then(|v| v.parse().ok()).unwrap_or(default)
+    }
+
+    pub fn usize(&self, key: &str, default: usize) -> usize {
+        self.get(key).and_then(|v| v.parse().ok()).unwrap_or(default)
+    }
+
+    pub fn flag(&self, key: &str) -> bool {
+        self.raw.iter().any(|a| a == key)
+    }
+
+    /// Geometry by name: tiny | small | quarter | xqvr1000.
+    pub fn geometry(&self, default: &str) -> Geometry {
+        match self.get("--geometry").unwrap_or(default) {
+            "tiny" => Geometry::tiny(),
+            "small" => Geometry::small(),
+            "quarter" => Geometry::quarter(),
+            "xqvr1000" => Geometry::xqvr1000(),
+            other => panic!("unknown geometry {other}"),
+        }
+    }
+}
+
+/// Percent formatting.
+pub fn pct(x: f64) -> String {
+    format!("{:.2}%", 100.0 * x)
+}

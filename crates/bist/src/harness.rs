@@ -1,0 +1,182 @@
+//! Permanent-fault test campaign: inject stuck-at faults, run the BIST
+//! suite, measure detection coverage and isolation quality (paper §II-B:
+//! "It is desirable to obtain maximum coverage and isolation of hard
+//! faults with a minimum number of configurations").
+
+use cibola_arch::{Device, FaultSite, Geometry, SimDuration, Tile};
+use cibola_netlist::{implement, NetlistSim};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::clb::{clb_bist, ClbVariant};
+use crate::wire::WireTest;
+
+/// Outcome for one injected fault.
+#[derive(Debug, Clone)]
+pub struct FaultOutcome {
+    pub site: FaultSite,
+    pub stuck: bool,
+    pub detected: bool,
+    /// Which test caught it.
+    pub caught_by: Option<&'static str>,
+}
+
+/// Aggregate campaign result.
+#[derive(Debug, Clone)]
+pub struct BistCoverage {
+    pub injected: usize,
+    pub detected: usize,
+    pub outcomes: Vec<FaultOutcome>,
+    pub configurations_used: usize,
+    pub duration: SimDuration,
+}
+
+impl BistCoverage {
+    pub fn coverage(&self) -> f64 {
+        if self.injected == 0 {
+            1.0
+        } else {
+            self.detected as f64 / self.injected as f64
+        }
+    }
+}
+
+/// The on-orbit diagnostic suite: both CLB variants plus the wire test on
+/// every row. (Diagnostic configurations "must be either stored on-board
+/// or up-loaded from a ground station" — the suite counts how many it
+/// uses.)
+pub struct BistSuite {
+    pub geom: Geometry,
+    /// Rows swept by the wire test (all rows for full coverage; fewer for
+    /// quick checks).
+    pub wire_rows: Vec<usize>,
+    /// Registers per CLB-test instance.
+    pub clb_registers: usize,
+}
+
+impl BistSuite {
+    pub fn full(geom: &Geometry) -> Self {
+        BistSuite {
+            geom: geom.clone(),
+            wire_rows: (0..geom.rows).collect(),
+            clb_registers: 4,
+        }
+    }
+
+    pub fn quick(geom: &Geometry) -> Self {
+        BistSuite {
+            geom: geom.clone(),
+            wire_rows: vec![0, geom.rows / 2],
+            clb_registers: 3,
+        }
+    }
+
+    /// Run the suite against a device carrying `dev`'s permanent faults.
+    /// Returns (detected, caught_by, configurations, duration).
+    pub fn run(&self, dev: &mut Device) -> (bool, Option<&'static str>, usize, SimDuration) {
+        let mut configs = 0usize;
+        let mut dur = SimDuration::ZERO;
+
+        // Wire tests (per row).
+        for &row in &self.wire_rows {
+            let wt = WireTest::new(&self.geom, row);
+            let report = wt.run(dev);
+            configs += 1; // one base configuration (plus partials) per row
+            dur += report.duration;
+            if !report.faults.is_empty() {
+                return (true, Some("wire"), configs, dur);
+            }
+        }
+
+        // CLB tests: run each variant's netlist on the faulty device and
+        // compare against the fault-free reference simulation — the
+        // design's own error flags do the comparison on-orbit; mirroring
+        // them against the reference catches faults that break the error
+        // logic itself. Sizes back off until the test fits the device, so
+        // the largest fitting instance maximises slot coverage.
+        for variant in [ClbVariant::A, ClbVariant::B] {
+            let mut fitted = None;
+            for registers in (2..=self.clb_registers).rev() {
+                let nl = clb_bist(registers, variant);
+                if let Ok(imp) = implement(&nl, &self.geom) {
+                    fitted = Some((nl, imp));
+                    break;
+                }
+            }
+            let Some((nl, imp)) = fitted else { continue };
+            configs += 1;
+            dur += dev.configure_full(&imp.bitstream);
+            let mut reference = NetlistSim::new(&nl);
+            for _ in 0..128 {
+                let hw = dev.step(&[]);
+                let mut sw = reference.step(&[]);
+                sw.resize(hw.len(), false);
+                let flags = &hw[..hw.len() - 1];
+                if flags.iter().any(|&e| e) || hw != sw {
+                    return (true, Some("clb"), configs, dur);
+                }
+            }
+        }
+
+        (false, None, configs, dur)
+    }
+}
+
+/// Inject `count` random stuck-at faults one at a time (hard faults are
+/// rare enough to be singletons) and measure suite coverage.
+pub fn coverage_campaign(geom: &Geometry, suite: &BistSuite, count: usize, seed: u64) -> BistCoverage {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut outcomes = Vec::with_capacity(count);
+    let mut detected = 0usize;
+    let mut configs = 0usize;
+    let mut duration = SimDuration::ZERO;
+
+    for _ in 0..count {
+        let site = random_site(geom, suite, &mut rng);
+        let stuck = rng.gen_bool(0.5);
+        let mut dev = Device::new(geom.clone());
+        dev.inject_stuck_fault(site, stuck);
+        let (hit, caught_by, c, d) = suite.run(&mut dev);
+        configs += c;
+        duration += d;
+        if hit {
+            detected += 1;
+        }
+        outcomes.push(FaultOutcome {
+            site,
+            stuck,
+            detected: hit,
+            caught_by,
+        });
+    }
+
+    BistCoverage {
+        injected: count,
+        detected,
+        outcomes,
+        configurations_used: configs,
+        duration,
+    }
+}
+
+/// A random fault site within the suite's coverage target: output-mux
+/// wires on tested rows, and slice outputs.
+fn random_site(geom: &Geometry, suite: &BistSuite, rng: &mut SmallRng) -> FaultSite {
+    if rng.gen_bool(0.6) && !suite.wire_rows.is_empty() {
+        let row = suite.wire_rows[rng.gen_range(0..suite.wire_rows.len())];
+        // East output-mux wires on interior columns of a tested row.
+        let col = rng.gen_range(0..geom.cols.saturating_sub(1));
+        let wire = cibola_arch::Dir::East as usize * 24
+            + rng.gen_range(0..cibola_arch::geometry::OUTMUX_WIRES_PER_DIR);
+        FaultSite::Wire {
+            tile: Tile::new(row, col),
+            wire: wire as u8,
+        }
+    } else {
+        FaultSite::SliceOut {
+            tile: Tile::new(rng.gen_range(0..geom.rows), rng.gen_range(0..geom.cols)),
+            slice: rng.gen_range(0..2),
+            out: rng.gen_range(0..2),
+        }
+    }
+}

@@ -1,0 +1,23 @@
+//! # cibola-bist — built-in self test for permanent faults (paper §II-B)
+//!
+//! Readback and partial reconfiguration also serve to "detect permanent
+//! failures such as opens or shorts within an FPGA". This crate builds the
+//! paper's coverage-optimized diagnostic configurations:
+//!
+//! * [`clb`] — cascaded 34-bit LFSR registers with adjacent comparison and
+//!   sticky error latches, in two complementary placement variants;
+//! * [`bram`] — address-in-both-bytes content sweep with per-block flags;
+//! * [`wire`] — the Fig. 5 procedure: a repeatedly partially-reconfigured
+//!   inverter chain testing each of the 20 output-mux wires (20 partial
+//!   reconfigurations + 40 readbacks per row);
+//! * [`harness`] — fault-injection coverage campaigns over the suite.
+
+pub mod bram;
+pub mod clb;
+pub mod harness;
+pub mod wire;
+
+pub use bram::bram_bist;
+pub use clb::{clb_bist, ClbVariant, REG_BITS};
+pub use harness::{coverage_campaign, BistCoverage, BistSuite, FaultOutcome};
+pub use wire::{WireFault, WireTest, WireTestReport};

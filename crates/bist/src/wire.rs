@@ -1,0 +1,341 @@
+//! The wire test (paper §II-B, Fig. 5): "Single length wires are tested
+//! using one design that is repeatedly partially reconfigured… The test
+//! procedure first configures the initial test data… all other columns
+//! are configured as inverters, with all flip-flops initialized to zero.
+//! The CLBs are chained together, each using the same output wire of the
+//! 96 available wires. Then the clock is stepped once, and the
+//! configuration is read back, checking for stuck-at-one faults. The
+//! clock is stepped once more… to check for stuck-at-zero faults… The
+//! configuration is then partially reconfigured to connect the CLBs using
+//! the next wire… A total of twenty partial reconfigurations and 40
+//! readbacks are required to test 80 output wires of each CLB."
+
+use cibola_arch::bits::{
+    encode_wire, ff_dmux_offset, ff_init_offset, input_mux_offset, lut_table_offset,
+    out_sel_offset, outmux_offset, pip_offset, MuxPin, TILE_BITS_PER_FRAME,
+};
+use cibola_arch::geometry::OUTMUX_WIRES_PER_DIR;
+use cibola_arch::{
+    ConfigMemory, Device, Dir, FrameAddr, Geometry, ReadbackOptions, SimDuration, Tile,
+};
+
+/// A detected stuck-at fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WireFault {
+    /// The output-mux wire index under test (0..20).
+    pub wire: usize,
+    /// First chain column whose captured flip-flop disagreed.
+    pub first_bad_col: usize,
+    /// The stuck polarity implied by which phase failed.
+    pub stuck_at: bool,
+}
+
+/// Report of a full wire-test sweep along one row.
+#[derive(Debug, Clone)]
+pub struct WireTestReport {
+    pub row: usize,
+    /// Configuration rounds (one per wire under test — the paper's 20).
+    pub reconfig_rounds: usize,
+    /// Readback passes (two per wire — the paper's 40).
+    pub readback_passes: usize,
+    /// Frames rewritten across all partial reconfigurations.
+    pub frames_rewritten: usize,
+    pub faults: Vec<WireFault>,
+    pub duration: SimDuration,
+}
+
+/// The wire test for one device row.
+#[derive(Debug, Clone)]
+pub struct WireTest {
+    geom: Geometry,
+    row: usize,
+}
+
+/// Feedback wire (non-outmux index) used to close the column-0 toggle loop.
+const LOOP_WIRE: usize = 23;
+
+impl WireTest {
+    pub fn new(geom: &Geometry, row: usize) -> Self {
+        assert!(row < geom.rows);
+        assert!(geom.cols >= 3);
+        WireTest {
+            geom: geom.clone(),
+            row,
+        }
+    }
+
+    /// Build the test configuration chaining the row's CLBs through
+    /// outgoing-east wire `w`.
+    pub fn config_for_wire(&self, w: usize) -> ConfigMemory {
+        assert!(w < OUTMUX_WIRES_PER_DIR);
+        let mut cm = ConfigMemory::new(self.geom.clone());
+        let row = self.row;
+
+        // Column 0: a toggle flip-flop. Its value loops out east on a
+        // non-test wire and back through the neighbour, inverted into D.
+        let t0 = Tile::new(row, 0);
+        // LUT F: inverter of pin 0; pin 0 ← incoming east LOOP_WIRE.
+        let inv_table = {
+            let mut t = 0u64;
+            for a in 0..16 {
+                if a & 1 == 0 {
+                    t |= 1 << a;
+                }
+            }
+            t
+        };
+        cm.write_tile_field(t0, lut_table_offset(0, 0, 0), 16, inv_table);
+        cm.write_tile_field(
+            t0,
+            input_mux_offset(0, MuxPin::LutPin { lut: 0, pin: 0 }),
+            8,
+            encode_wire(Dir::East, LOOP_WIRE) as u64,
+        );
+        cm.write_tile_field(t0, ff_dmux_offset(0, 0), 1, 0); // D from LUT
+        cm.write_tile_field(t0, ff_init_offset(0, 0), 1, 0);
+        cm.write_tile_field(
+            t0,
+            input_mux_offset(0, MuxPin::Cex),
+            8,
+            cibola_arch::bits::MUX_UNCONNECTED as u64,
+        );
+        cm.write_tile_field(
+            t0,
+            input_mux_offset(0, MuxPin::Srx),
+            8,
+            cibola_arch::bits::MUX_UNCONNECTED_INV as u64,
+        );
+        cm.write_tile_field(t0, out_sel_offset(0, 0), 1, 1); // expose FF
+        // Drive the test wire and the loop wire from slice 0 output X.
+        cm.write_tile_field(t0, outmux_offset(Dir::East, w), 4, 0b0001);
+        // Loop wire is above the outmux range: reach it through the
+        // neighbour's turn-around PIP on the test row's spare wire.
+        cm.write_tile_field(t0, outmux_offset(Dir::East, (w + 1) % OUTMUX_WIRES_PER_DIR), 4, 0b0001);
+        let t1 = Tile::new(row, 1);
+        // Neighbour turns the spare wire around: outgoing west LOOP_WIRE ←
+        // incoming west (w + 1).
+        let turn = 1u64
+            | ((encode_wire(Dir::West, (w + 1) % OUTMUX_WIRES_PER_DIR) as u64) << 1);
+        cm.write_tile_field(t1, pip_offset(Dir::West as usize * 24 + LOOP_WIRE), 8, turn);
+
+        // Columns 1.. : inverter chain on wire `w`, each with a capture FF.
+        for col in 1..self.geom.cols {
+            let t = Tile::new(row, col);
+            cm.write_tile_field(t, lut_table_offset(0, 0, 0), 16, inv_table);
+            cm.write_tile_field(
+                t,
+                input_mux_offset(0, MuxPin::LutPin { lut: 0, pin: 0 }),
+                8,
+                encode_wire(Dir::West, w) as u64,
+            );
+            cm.write_tile_field(t, ff_dmux_offset(0, 0), 1, 0);
+            cm.write_tile_field(t, ff_init_offset(0, 0), 1, 0);
+            cm.write_tile_field(
+                t,
+                input_mux_offset(0, MuxPin::Cex),
+                8,
+                cibola_arch::bits::MUX_UNCONNECTED as u64,
+            );
+            cm.write_tile_field(
+                t,
+                input_mux_offset(0, MuxPin::Srx),
+                8,
+                cibola_arch::bits::MUX_UNCONNECTED_INV as u64,
+            );
+            cm.write_tile_field(t, out_sel_offset(0, 0), 1, 0); // expose LUT
+            if col + 1 < self.geom.cols {
+                cm.write_tile_field(t, outmux_offset(Dir::East, w), 4, 0b0001);
+            }
+        }
+
+        // Expose the last column's LUT on an output port so the
+        // configuration has an observable cone (and compiles).
+        let last = Tile::new(row, self.geom.cols - 1);
+        cm.write_tile_field(last, outmux_offset(Dir::East, w), 4, 0b0001);
+        cm.write_iob(
+            cibola_arch::Edge::East,
+            row,
+            w,
+            cibola_arch::IobEntry {
+                enabled: true,
+                port: 0,
+                invert: false,
+            },
+        );
+        cm
+    }
+
+    /// Expected captured FF value at `col` after `clocks` clock edges.
+    /// Column 0 holds the toggle; columns ≥ 1 capture the inverter chain.
+    fn expected(&self, col: usize, clocks: usize) -> bool {
+        debug_assert!(clocks >= 1);
+        let toggle_before = (clocks - 1) % 2 == 1; // value before last edge
+        if col == 0 {
+            // After k edges the toggle shows k mod 2.
+            clocks % 2 == 1
+        } else {
+            // Chain value computed from the pre-edge toggle: col parity
+            // inversions.
+            toggle_before ^ (col % 2 == 1)
+        }
+    }
+
+    /// Read the captured FF values of the test row (one readback pass over
+    /// the frame holding slice-0 FFX capture bits).
+    fn capture_row(&self, dev: &mut Device) -> (Vec<bool>, SimDuration) {
+        let pos = dev.config().tile_pos(ff_init_offset(0, 0));
+        let minor = pos / TILE_BITS_PER_FRAME;
+        let within = pos % TILE_BITS_PER_FRAME;
+        let mut vals = Vec::with_capacity(self.geom.cols);
+        let mut dur = SimDuration::ZERO;
+        for col in 0..self.geom.cols {
+            let (data, d) = dev.readback_frame(
+                FrameAddr::clb(col, minor),
+                ReadbackOptions { capture_ff: true },
+            );
+            dur += d;
+            let pos = self.row * TILE_BITS_PER_FRAME + within;
+            vals.push((data[pos / 8] >> (pos % 8)) & 1 == 1);
+        }
+        (vals, dur)
+    }
+
+    /// Run the full 20-wire sweep on `dev`, which may carry permanent
+    /// faults. Returns the report; the device is left configured with the
+    /// last test pattern.
+    pub fn run(&self, dev: &mut Device) -> WireTestReport {
+        let mut report = WireTestReport {
+            row: self.row,
+            reconfig_rounds: 0,
+            readback_passes: 0,
+            frames_rewritten: 0,
+            faults: Vec::new(),
+            duration: SimDuration::ZERO,
+        };
+
+        // Diagnostics observe state through readback capture, so every
+        // flip-flop must clock like real hardware.
+        dev.set_compile_all_state(true);
+        let mut current = self.config_for_wire(0);
+        report.duration += dev.configure_full(&current);
+        report.reconfig_rounds += 1;
+
+        for w in 0..OUTMUX_WIRES_PER_DIR {
+            if w > 0 {
+                // Partial reconfiguration: rewrite only the frames that
+                // differ between consecutive wire patterns.
+                let next = self.config_for_wire(w);
+                let mut changed: Vec<FrameAddr> = Vec::new();
+                for bit in next.diff(&current) {
+                    let (addr, _) = next.locate(bit);
+                    if changed.last() != Some(&addr) && !changed.contains(&addr) {
+                        changed.push(addr);
+                    }
+                }
+                for addr in changed {
+                    let bytes = next.read_frame(addr);
+                    report.duration += dev.partial_configure_frame(addr, &bytes);
+                    report.frames_rewritten += 1;
+                }
+                current = next;
+                report.reconfig_rounds += 1;
+                dev.reset();
+            }
+
+            // Phase 1: one clock, readback, check (stuck-at detection on
+            // the first polarity).
+            dev.step(&[]);
+            let (cap1, d1) = self.capture_row(dev);
+            report.duration += d1;
+            report.readback_passes += 1;
+
+            // Phase 2: another clock, readback, check the complement.
+            dev.step(&[]);
+            let (cap2, d2) = self.capture_row(dev);
+            report.duration += d2;
+            report.readback_passes += 1;
+
+            let mut first_bad: Option<(usize, bool)> = None;
+            for col in 0..self.geom.cols {
+                let e1 = self.expected(col, 1);
+                let e2 = self.expected(col, 2);
+                if cap1[col] != e1 {
+                    first_bad = Some((col, cap1[col]));
+                    break;
+                }
+                if cap2[col] != e2 {
+                    first_bad = Some((col, cap2[col]));
+                    break;
+                }
+            }
+            if let Some((col, observed)) = first_bad {
+                report.faults.push(WireFault {
+                    wire: w,
+                    first_bad_col: col,
+                    stuck_at: observed,
+                });
+            }
+        }
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cibola_arch::FaultSite;
+
+    #[test]
+    fn clean_device_passes_with_paper_operation_counts() {
+        let geom = Geometry::tiny();
+        let wt = WireTest::new(&geom, 2);
+        let mut dev = Device::new(geom);
+        let report = wt.run(&mut dev);
+        assert!(report.faults.is_empty(), "faults: {:?}", report.faults);
+        assert_eq!(report.reconfig_rounds, 20, "paper: 20 reconfigurations");
+        assert_eq!(report.readback_passes, 40, "paper: 40 readbacks");
+        assert!(report.frames_rewritten > 0);
+    }
+
+    #[test]
+    fn stuck_wire_is_detected_and_isolated() {
+        let geom = Geometry::tiny();
+        let row = 1;
+        let wt = WireTest::new(&geom, row);
+        let mut dev = Device::new(geom);
+        // Stuck-at-0 on outgoing east wire 7 of column 3.
+        dev.inject_stuck_fault(
+            FaultSite::Wire {
+                tile: Tile::new(row, 3),
+                wire: (Dir::East as usize * 24 + 7) as u8,
+            },
+            false,
+        );
+        let report = wt.run(&mut dev);
+        let hit: Vec<_> = report.faults.iter().filter(|f| f.wire == 7).collect();
+        assert_eq!(hit.len(), 1, "exactly the faulted wire fails: {:?}", report.faults);
+        assert_eq!(hit[0].first_bad_col, 4, "isolated to the column after the break");
+        // Other wires are unaffected.
+        assert!(report.faults.iter().all(|f| f.wire == 7));
+    }
+
+    #[test]
+    fn stuck_at_one_vs_zero_polarity() {
+        let geom = Geometry::tiny();
+        let row = 0;
+        let wt = WireTest::new(&geom, row);
+        for polarity in [false, true] {
+            let mut dev = Device::new(geom.clone());
+            dev.inject_stuck_fault(
+                FaultSite::Wire {
+                    tile: Tile::new(row, 2),
+                    wire: (Dir::East as usize * 24 + 11) as u8,
+                },
+                polarity,
+            );
+            let report = wt.run(&mut dev);
+            let hit: Vec<_> = report.faults.iter().filter(|f| f.wire == 11).collect();
+            assert_eq!(hit.len(), 1, "polarity {polarity}: {:?}", report.faults);
+        }
+    }
+}

@@ -1,0 +1,142 @@
+//! Registry of the paper's evaluated designs (Tables I–II), with size
+//! ladders scaled to the target device.
+
+use cibola_netlist::{gen, Netlist};
+
+/// One of the paper's design classes, parameterised.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PaperDesign {
+    /// "LFSR n": n clusters of six 20-bit LFSRs (Fig. 10).
+    Lfsr { clusters: usize },
+    /// Scaled LFSR with custom register length (for small devices).
+    LfsrScaled { clusters: usize, bits: usize },
+    /// "MULT n": pipelined n×n array multiplier.
+    Mult { width: usize },
+    /// "VMULT n": vector multiplier (four half-width lanes).
+    Vmult { width: usize },
+    /// "n Multiply-Add": the Fig. 9 pipelined multiply-add tree.
+    MultAdd { width: usize },
+    /// "n Counter/Adder" (Table II, Fig. 7).
+    CounterAdder { width: usize },
+    /// "LFSR Multiplier" (Table II).
+    LfsrMultiplier { width: usize },
+    /// "Filter Preproc." (Table II).
+    FilterPreproc { taps: usize, sample_bits: usize },
+}
+
+impl PaperDesign {
+    /// Build the netlist.
+    pub fn netlist(&self) -> Netlist {
+        match *self {
+            PaperDesign::Lfsr { clusters } => gen::lfsr_cluster(clusters),
+            PaperDesign::LfsrScaled { clusters, bits } => {
+                gen::lfsr_cluster_with(clusters, bits, gen::lfsr::LFSRS_PER_CLUSTER)
+            }
+            PaperDesign::Mult { width } => gen::pipelined_multiplier(width),
+            PaperDesign::Vmult { width } => gen::vector_multiplier(width),
+            PaperDesign::MultAdd { width } => gen::mult_add_tree(width),
+            PaperDesign::CounterAdder { width } => gen::counter_adder(width),
+            PaperDesign::LfsrMultiplier { width } => gen::lfsr_multiplier(width),
+            PaperDesign::FilterPreproc { taps, sample_bits } => {
+                gen::filter_preproc(taps, sample_bits)
+            }
+        }
+    }
+
+    /// A short identifier matching the paper's naming.
+    pub fn label(&self) -> String {
+        match *self {
+            PaperDesign::Lfsr { clusters } => format!("LFSR {clusters}"),
+            PaperDesign::LfsrScaled { clusters, bits } => format!("LFSR {clusters}x{bits}"),
+            PaperDesign::Mult { width } => format!("MULT {width}"),
+            PaperDesign::Vmult { width } => format!("VMULT {width}"),
+            PaperDesign::MultAdd { width } => format!("{width} Multiply-Add"),
+            PaperDesign::CounterAdder { width } => format!("{width} Counter/Adder"),
+            PaperDesign::LfsrMultiplier { width } => format!("LFSR Multiplier {width}"),
+            PaperDesign::FilterPreproc { .. } => "Filter Preproc.".to_string(),
+        }
+    }
+
+    /// The Table I ladder (three families × four sizes), scaled by
+    /// `scale` ∈ (0, 1] relative to the paper's sizes (LFSR 18–72,
+    /// VMULT 18–72, MULT 12–48).
+    pub fn table1_ladder(scale: f64) -> Vec<PaperDesign> {
+        let s = |v: usize| ((v as f64 * scale).round() as usize).max(2);
+        let e = |v: usize| {
+            let x = s(v);
+            x + (x % 2) // VMULT needs even widths
+        };
+        vec![
+            PaperDesign::Lfsr { clusters: s(18).max(1) },
+            PaperDesign::Lfsr { clusters: s(36).max(1) },
+            PaperDesign::Lfsr { clusters: s(54).max(1) },
+            PaperDesign::Lfsr { clusters: s(72).max(1) },
+            PaperDesign::Vmult { width: e(18) },
+            PaperDesign::Vmult { width: e(36) },
+            PaperDesign::Vmult { width: e(54) },
+            PaperDesign::Vmult { width: e(72) },
+            PaperDesign::Mult { width: s(12) },
+            PaperDesign::Mult { width: s(24) },
+            PaperDesign::Mult { width: s(36) },
+            PaperDesign::Mult { width: s(48) },
+        ]
+    }
+
+    /// The Table II persistence set, scaled.
+    pub fn table2_set(scale: f64) -> Vec<PaperDesign> {
+        let s = |v: usize| ((v as f64 * scale).round() as usize).max(3);
+        let s4 = |v: usize| {
+            let x = s(v);
+            x + (4 - x % 4) % 4 // multiply-add needs width % 4 == 0
+        };
+        vec![
+            PaperDesign::MultAdd { width: s4(54) },
+            PaperDesign::CounterAdder { width: s(36) },
+            PaperDesign::LfsrScaled {
+                clusters: (s(72) / 12).max(1),
+                bits: 12,
+            },
+            PaperDesign::LfsrMultiplier { width: s(12) },
+            PaperDesign::FilterPreproc {
+                taps: s(8),
+                sample_bits: 4,
+            },
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_design_builds_and_validates() {
+        for d in PaperDesign::table1_ladder(0.2)
+            .into_iter()
+            .chain(PaperDesign::table2_set(0.2))
+        {
+            let nl = d.netlist();
+            nl.validate().unwrap_or_else(|e| panic!("{}: {e}", d.label()));
+            assert!(nl.cells.len() > 4, "{} too small", d.label());
+        }
+    }
+
+    #[test]
+    fn ladder_sizes_increase_within_a_family() {
+        let ladder = PaperDesign::table1_ladder(0.25);
+        let sizes: Vec<usize> = ladder.iter().map(|d| d.netlist().cells.len()).collect();
+        assert!(sizes[0] < sizes[3], "LFSR family grows");
+        assert!(sizes[4] < sizes[7], "VMULT family grows");
+        assert!(sizes[8] < sizes[11], "MULT family grows");
+    }
+
+    #[test]
+    fn labels_match_paper_style() {
+        assert_eq!(PaperDesign::Mult { width: 12 }.label(), "MULT 12");
+        assert_eq!(PaperDesign::Lfsr { clusters: 72 }.label(), "LFSR 72");
+        assert_eq!(
+            PaperDesign::CounterAdder { width: 36 }.label(),
+            "36 Counter/Adder"
+        );
+    }
+}

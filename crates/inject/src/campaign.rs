@@ -1,0 +1,333 @@
+//! Fault-injection campaigns (paper Fig. 8 and Tables I–II).
+//!
+//! The loop per configuration bit, exactly as the paper's Fig. 8:
+//! corrupt the bit → partially reconfigure the DUT → run the clock while
+//! the comparator checks for output discrepancies → log → repair the bit
+//! → (optionally, keep running without reset to classify *persistence*,
+//! per [12]) → reset and move to the next bit.
+//!
+//! Campaigns over millions of independent single-bit experiments are
+//! embarrassingly parallel; with `parallel = true` the sweep fans out over
+//! a rayon pool, one cloned DUT per experiment.
+
+use std::time::Instant;
+
+use cibola_arch::{Device, SimDuration};
+use rand::rngs::SmallRng;
+use rand::{seq::SliceRandom, SeedableRng};
+use rayon::prelude::*;
+use serde::Serialize;
+
+use crate::testbed::{InjectTiming, Testbed};
+
+/// Which configuration bits to inject.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BitSelection {
+    /// Every bit of the bitstream, one experiment each (the paper's
+    /// exhaustive mode).
+    All,
+    /// Simulate only the active closure; bits outside it are provably
+    /// inert and counted as tested-benign. Exact same result as `All`,
+    /// orders of magnitude faster.
+    ActiveClosure,
+    /// A uniform random sample of `count` bits from the whole bitstream
+    /// (sensitivity becomes an estimate).
+    Sample { count: usize, seed: u64 },
+    /// Sample `fraction` of the active closure (inert bits still counted
+    /// benign): an unbiased, cheap estimator of the exhaustive result.
+    SampleClosure { fraction: f64, seed: u64 },
+    /// An explicit list.
+    List(Vec<usize>),
+}
+
+/// Campaign parameters.
+#[derive(Debug, Clone)]
+pub struct CampaignConfig {
+    /// Cycles the comparator watches after corruption.
+    pub observe_cycles: usize,
+    /// Extra cycles run *after repair, without reset* for persistence
+    /// classification.
+    pub persist_cycles: usize,
+    /// The error is non-persistent if the last `persist_tail` cycles of
+    /// the persistence window are all clean.
+    pub persist_tail: usize,
+    /// Classify persistence of each sensitive bit (Table II).
+    pub classify_persistence: bool,
+    pub selection: BitSelection,
+    pub timing: InjectTiming,
+    /// Fan out over rayon.
+    pub parallel: bool,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        CampaignConfig {
+            observe_cycles: 64,
+            persist_cycles: 64,
+            persist_tail: 16,
+            classify_persistence: true,
+            selection: BitSelection::ActiveClosure,
+            timing: InjectTiming::default(),
+            parallel: true,
+        }
+    }
+}
+
+/// One sensitive configuration bit.
+#[derive(Debug, Clone, Serialize)]
+pub struct SensitiveBit {
+    /// Global configuration-bit index.
+    pub bit: usize,
+    /// First cycle at which the outputs diverged.
+    pub first_error_cycle: u32,
+    /// Which output ports ever differed (correlation data for selective
+    /// TMR, §III-A).
+    pub output_mask: u128,
+    /// True if errors continued to the end of the persistence window after
+    /// the bit was repaired (repair alone is not enough; a reset is
+    /// required).
+    pub persistent: bool,
+}
+
+/// Aggregate result of a campaign.
+#[derive(Debug, Clone, Serialize)]
+pub struct CampaignResult {
+    /// For sampled-closure campaigns: the closure size the sample was
+    /// drawn from (0 otherwise).
+    pub closure_size: usize,
+    pub design: String,
+    /// Device configuration size (denominator of Table I's sensitivity).
+    pub total_bits: usize,
+    /// Experiments actually simulated.
+    pub injections: usize,
+    /// Bits proven inert without simulation.
+    pub inert_bits: usize,
+    /// Occupied-slice fraction of the design (for normalized sensitivity).
+    pub slice_fraction: f64,
+    pub sensitive: Vec<SensitiveBit>,
+    /// Whether `sensitive` covers the full bitstream (exhaustive modes) or
+    /// is a sample estimate.
+    pub exhaustive: bool,
+    /// Simulated testbed time (the paper's 214 µs/bit model).
+    pub sim_time: SimDuration,
+    /// Host wall-clock seconds.
+    pub host_seconds: f64,
+}
+
+impl CampaignResult {
+    /// Number of design failures observed (Table I, "Failures"). For
+    /// sampled campaigns this is extrapolated to the full bitstream.
+    pub fn failures(&self) -> usize {
+        if self.exhaustive {
+            self.sensitive.len()
+        } else {
+            (self.sensitivity() * self.total_bits as f64).round() as usize
+        }
+    }
+
+    /// Design sensitivity: failures per configuration upset (Table I).
+    pub fn sensitivity(&self) -> f64 {
+        if self.exhaustive {
+            self.sensitive.len() as f64 / self.total_bits as f64
+        } else if self.closure_size > 0 {
+            // Sampled within the closure; everything outside is benign.
+            let hit_rate = self.sensitive.len() as f64 / self.injections.max(1) as f64;
+            hit_rate * self.closure_size as f64 / self.total_bits as f64
+        } else {
+            // Sampled uniformly from the full bitstream.
+            self.sensitive.len() as f64 / self.injections.max(1) as f64
+        }
+    }
+
+    /// Sensitivity normalized by the occupied-slice fraction (Table I's
+    /// final column): similar designs of different sizes should land on
+    /// similar values.
+    pub fn normalized_sensitivity(&self) -> f64 {
+        if self.slice_fraction > 0.0 {
+            self.sensitivity() / self.slice_fraction
+        } else {
+            0.0
+        }
+    }
+
+    /// Persistent sensitive bits per sensitive bit (Table II).
+    pub fn persistence_ratio(&self) -> f64 {
+        if self.sensitive.is_empty() {
+            0.0
+        } else {
+            self.sensitive.iter().filter(|s| s.persistent).count() as f64
+                / self.sensitive.len() as f64
+        }
+    }
+
+    /// Persistent bit indices.
+    pub fn persistent_bits(&self) -> Vec<usize> {
+        self.sensitive
+            .iter()
+            .filter(|s| s.persistent)
+            .map(|s| s.bit)
+            .collect()
+    }
+
+    /// Sensitive bit indices as a set (for beam validation).
+    pub fn sensitive_set(&self) -> std::collections::HashSet<usize> {
+        self.sensitive.iter().map(|s| s.bit).collect()
+    }
+}
+
+/// Run one single-bit experiment on a fresh DUT; `Some` iff the bit is
+/// sensitive.
+pub fn inject_one(tb: &Testbed, cfg: &CampaignConfig, bit: usize) -> Option<SensitiveBit> {
+    let mut dut = tb.base.clone();
+    inject_one_with(&mut dut, tb, cfg, bit)
+}
+
+/// Run one single-bit experiment, reusing `dut` as scratch. On return the
+/// DUT has been restored (repair + reset, or a full state restore for
+/// designs with run-time-written configuration).
+pub fn inject_one_with(
+    dut: &mut Device,
+    tb: &Testbed,
+    cfg: &CampaignConfig,
+    bit: usize,
+) -> Option<SensitiveBit> {
+    let observe = cfg.observe_cycles.min(tb.trace_len());
+    let persist_end = (cfg.observe_cycles + cfg.persist_cycles).min(tb.trace_len());
+
+    // Corrupt: the simulator "partially reconfigures the DUT to load the
+    // corrupted frame".
+    dut.flip_config_bit(bit);
+
+    let mut first_error: Option<u32> = None;
+    let mut mask = 0u128;
+    for c in 0..observe {
+        let out = dut.step(&tb.stimulus[c]);
+        let gold = &tb.golden[c];
+        if out != *gold {
+            first_error.get_or_insert(c as u32);
+            for (i, (a, b)) in out.iter().zip(gold.iter()).enumerate() {
+                if a != b && i < 128 {
+                    mask |= 1 << i;
+                }
+            }
+        }
+    }
+
+    // Repair the bit ("the simulator corrects the current bit").
+    dut.flip_config_bit(bit);
+
+    let result = if let Some(first_error_cycle) = first_error {
+        // Persistence pass: continue without reset; if the tail of the
+        // window is clean, scrubbing alone healed the design
+        // (non-persistent).
+        let mut persistent = false;
+        if cfg.classify_persistence && persist_end > observe {
+            let mut last_mismatch: Option<usize> = None;
+            for c in observe..persist_end {
+                let out = dut.step(&tb.stimulus[c]);
+                if out != tb.golden[c] {
+                    last_mismatch = Some(c);
+                }
+            }
+            persistent = match last_mismatch {
+                None => false,
+                Some(l) => l + cfg.persist_tail >= persist_end,
+            };
+        }
+        Some(SensitiveBit {
+            bit,
+            first_error_cycle,
+            output_mask: mask,
+            persistent,
+        })
+    } else {
+        None
+    };
+
+    // Restore for the next experiment ("reset designs", Fig. 8). Designs
+    // that write their own configuration (LUT-RAM/SRL/BRAM) need their
+    // whole image restored — and so do experiments where the *corruption*
+    // accidentally created a dynamic resource that wrote the image.
+    if tb.has_dynamic_state || dut.design_wrote_config() {
+        *dut = tb.base.clone();
+    } else {
+        dut.reset();
+    }
+    result
+}
+
+/// Run a full campaign.
+pub fn run_campaign(tb: &Testbed, cfg: &CampaignConfig) -> CampaignResult {
+    let total_bits = tb.total_bits();
+    let mut closure_size = 0usize;
+    let (bits, inert_bits, exhaustive): (Vec<usize>, usize, bool) = match &cfg.selection {
+        BitSelection::All => ((0..total_bits).collect(), 0, true),
+        BitSelection::ActiveClosure => {
+            let mut probe = tb.base.clone();
+            let active = probe.active_config_bits();
+            let inert = total_bits - active.len();
+            (active, inert, true)
+        }
+        BitSelection::Sample { count, seed } => {
+            let mut rng = SmallRng::seed_from_u64(*seed);
+            let mut all: Vec<usize> = (0..total_bits).collect();
+            all.shuffle(&mut rng);
+            all.truncate(*count);
+            (all, 0, false)
+        }
+        BitSelection::SampleClosure { fraction, seed } => {
+            let mut probe = tb.base.clone();
+            let mut active = probe.active_config_bits();
+            closure_size = active.len();
+            let inert = total_bits - active.len();
+            let mut rng = SmallRng::seed_from_u64(*seed);
+            active.shuffle(&mut rng);
+            let keep = ((active.len() as f64) * fraction.clamp(0.0, 1.0)).ceil() as usize;
+            active.truncate(keep.max(1));
+            (active, inert, false)
+        }
+        BitSelection::List(v) => (v.clone(), 0, false),
+    };
+
+    let start = Instant::now();
+    let sensitive: Vec<SensitiveBit> = if cfg.parallel {
+        // One scratch DUT per rayon task: cloned at split points, reused
+        // across the items of each task.
+        bits.par_iter()
+            .map_with(tb.base.clone(), |dut, &b| inject_one_with(dut, tb, cfg, b))
+            .flatten()
+            .collect()
+    } else {
+        let mut dut = tb.base.clone();
+        bits.iter()
+            .filter_map(|&b| inject_one_with(&mut dut, tb, cfg, b))
+            .collect()
+    };
+    let host_seconds = start.elapsed().as_secs_f64();
+
+    let mut sensitive = sensitive;
+    sensitive.sort_by_key(|s| s.bit);
+
+    // Simulated time: every *tested* bit costs one Fig. 8 loop. Inert bits
+    // were still "tested" on the real testbed, so they count too — this is
+    // what reproduces the paper's 20-minute exhaustive figure.
+    let tested = bits.len() + inert_bits;
+    let mut sim_time = cfg.timing.per_bit() * tested as u64
+        + cfg.timing.cycles(cfg.observe_cycles) * tested as u64;
+    if cfg.classify_persistence {
+        sim_time += cfg.timing.cycles(cfg.persist_cycles) * sensitive.len() as u64;
+    }
+
+    CampaignResult {
+        design: tb.report.name.clone(),
+        closure_size,
+        total_bits,
+        injections: bits.len(),
+        inert_bits,
+        slice_fraction: tb.report.slice_fraction(),
+        sensitive,
+        exhaustive,
+        sim_time,
+        host_seconds,
+    }
+}

@@ -1,0 +1,30 @@
+//! # cibola-inject — the SEU simulator (paper §III)
+//!
+//! "We use an SEU simulator that dynamically reconfigures the FPGA under
+//! test with corrupted configurations." This crate reproduces the whole
+//! methodology:
+//!
+//! * the SLAAC-1V-style **testbed** ([`testbed`]): DUT + golden design +
+//!   clock-by-clock output comparator, with the paper's 214 µs/bit
+//!   simulated-time loop cost;
+//! * exhaustive and sampled **campaigns** ([`campaign`]) producing
+//!   sensitivity, normalized sensitivity (Table I) and persistence
+//!   classification (Table II), parallelised with rayon;
+//! * **error traces** ([`trace`]) around upset/repair/reset (Fig. 7);
+//! * **beam validation** ([`validate`]): replay the accelerator procedure
+//!   of Figs. 11–12 against the simulator's sensitivity map, reproducing
+//!   the ≈97.6 % agreement and its structural shortfall (hidden state).
+
+pub mod analysis;
+pub mod campaign;
+pub mod testbed;
+pub mod trace;
+pub mod validate;
+
+pub use analysis::{role_breakdown, selective_protect_set, sensitivity_by_cell, RoleBreakdown};
+pub use campaign::{
+    inject_one, inject_one_with, run_campaign, BitSelection, CampaignConfig, CampaignResult, SensitiveBit,
+};
+pub use testbed::{InjectTiming, Testbed};
+pub use trace::{capture_trace, ErrorTrace, TraceSchedule};
+pub use validate::{beam_validation, BeamRunConfig, ErrorCause, ValidationResult};

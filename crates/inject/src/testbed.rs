@@ -1,0 +1,154 @@
+//! The SLAAC-1V-style injection testbed (paper Fig. 6).
+//!
+//! The physical board held three XCV1000s — X1 and X2 running identical
+//! designs, X0 comparing their outputs clock-by-clock — plus a dedicated
+//! configuration-controller FPGA for fast partial reconfiguration. Because
+//! both devices are deterministic given the stimulus, the model runs the
+//! "golden" part once up front and stores its output trace; every
+//! injection then runs only the corrupted DUT against the trace, which is
+//! exactly what X0's comparator observed.
+
+use cibola_arch::{Bitstream, Device, SimDuration};
+use cibola_netlist::{DesignReport, Implementation, Stimulus};
+
+/// Simulated-time cost model of the injection loop (paper §III-A: "a
+/// single bit can be modified and loaded in 100 µs… This process takes
+/// 214 µs, making it possible to exhaustively test the entire bitstream of
+/// 5.8 million bits in 20 minutes").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InjectTiming {
+    /// Partial reconfiguration to corrupt the frame.
+    pub corrupt: SimDuration,
+    /// Partial reconfiguration to repair it.
+    pub repair: SimDuration,
+    /// Observation and logging overhead per bit.
+    pub observe_overhead: SimDuration,
+    /// DUT clock, for converting cycles to time.
+    pub clock_hz: u64,
+}
+
+impl Default for InjectTiming {
+    fn default() -> Self {
+        InjectTiming {
+            corrupt: SimDuration::from_micros(100),
+            repair: SimDuration::from_micros(100),
+            observe_overhead: SimDuration::from_micros(14),
+            clock_hz: 20_000_000, // "at speed (up to 20 MHz)"
+        }
+    }
+}
+
+impl InjectTiming {
+    /// Loop time per injected bit (the paper's 214 µs).
+    pub fn per_bit(&self) -> SimDuration {
+        self.corrupt + self.repair + self.observe_overhead
+    }
+
+    /// Simulated duration of `cycles` DUT clocks.
+    pub fn cycles(&self, cycles: usize) -> SimDuration {
+        SimDuration::from_nanos(cycles as u64 * 1_000_000_000 / self.clock_hz)
+    }
+}
+
+/// A prepared injection testbed: golden bitstream, stimulus, golden output
+/// trace, and a ready-to-clone DUT.
+#[derive(Debug, Clone)]
+pub struct Testbed {
+    /// The golden configuration.
+    pub bitstream: Bitstream,
+    /// Implementation report of the design under test (for normalized
+    /// sensitivity).
+    pub report: DesignReport,
+    /// Input vectors, one per cycle.
+    pub stimulus: Vec<Vec<bool>>,
+    /// Golden outputs, one per cycle.
+    pub golden: Vec<Vec<bool>>,
+    /// A configured, reset DUT ready to clone per experiment.
+    pub base: Device,
+    /// Whether the design writes LUT/BRAM contents at run time (forces a
+    /// full state restore between injections).
+    pub has_dynamic_state: bool,
+}
+
+impl Testbed {
+    /// Prepare a testbed from an implemented design: configure the golden
+    /// part, run `cycles` of stimulus, and record the trace.
+    pub fn new(imp: &Implementation, stim_seed: u64, cycles: usize) -> Self {
+        let geom = imp.bitstream.geometry().clone();
+        let mut base = Device::new(geom);
+        base.configure_full(&imp.bitstream);
+        let num_inputs = base.num_inputs();
+
+        let mut stim = Stimulus::new(stim_seed, num_inputs);
+        let stimulus: Vec<Vec<bool>> = (0..cycles).map(|_| stim.next_vector()).collect();
+
+        let mut golden_dev = base.clone();
+        let golden: Vec<Vec<bool>> = stimulus.iter().map(|iv| golden_dev.step(iv)).collect();
+
+        // Dynamic state exists iff running the design changed its own
+        // configuration memory (LUT-RAM/SRL writes or BRAM writes).
+        let has_dynamic_state = !golden_dev.config().diff(&imp.bitstream).is_empty();
+
+        Testbed {
+            bitstream: imp.bitstream.clone(),
+            report: imp.report.clone(),
+            stimulus,
+            golden,
+            base,
+            has_dynamic_state,
+        }
+    }
+
+    /// Number of cycles of prepared trace.
+    pub fn trace_len(&self) -> usize {
+        self.stimulus.len()
+    }
+
+    /// Total configuration bits (the exhaustive-injection space).
+    pub fn total_bits(&self) -> usize {
+        self.bitstream.total_bits()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cibola_arch::Geometry;
+    use cibola_netlist::{gen, implement};
+
+    #[test]
+    fn timing_defaults_match_paper() {
+        let t = InjectTiming::default();
+        assert_eq!(t.per_bit(), SimDuration::from_micros(214));
+        // 5.8 Mbit at 214 µs/bit ≈ 20.7 minutes.
+        let exhaustive = t.per_bit() * 5_800_000;
+        let minutes = exhaustive.as_secs_f64() / 60.0;
+        assert!((minutes - 20.7).abs() < 0.2, "exhaustive time {minutes} min");
+    }
+
+    #[test]
+    fn golden_trace_matches_a_fresh_run() {
+        let nl = gen::counter_adder(4);
+        let imp = implement(&nl, &Geometry::tiny()).unwrap();
+        let tb = Testbed::new(&imp, 1, 50);
+        assert_eq!(tb.trace_len(), 50);
+        let mut dev = tb.base.clone();
+        for c in 0..50 {
+            assert_eq!(dev.step(&tb.stimulus[c]), tb.golden[c], "cycle {c}");
+        }
+        assert!(!tb.has_dynamic_state);
+    }
+
+    #[test]
+    fn dynamic_designs_are_flagged() {
+        let mut b = cibola_netlist::NetlistBuilder::new("dyn");
+        let x = b.input();
+        let one = b.const_net(true);
+        let tap = b.srl16(&[one], x, cibola_netlist::Ctrl::One, 0);
+        b.output(tap);
+        let nl = b.finish();
+        let imp = implement(&nl, &Geometry::tiny()).unwrap();
+        let tb = Testbed::new(&imp, 2, 32);
+        assert!(tb.has_dynamic_state, "SRL16 writes configuration memory");
+    }
+}

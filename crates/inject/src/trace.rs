@@ -1,0 +1,129 @@
+//! Error-trace capture (paper Fig. 7): follow expected vs actual outputs
+//! around an upset, a scrub repair, and a reset — showing why persistent
+//! bits need the reset.
+
+use cibola_arch::Device;
+use serde::Serialize;
+
+use crate::testbed::Testbed;
+
+/// Schedule of the traced experiment.
+#[derive(Debug, Clone, Copy)]
+pub struct TraceSchedule {
+    /// Cycle at which the configuration bit is flipped.
+    pub upset_at: usize,
+    /// Cycle at which the scrubber repairs the bit (no reset).
+    pub repair_at: usize,
+    /// Cycle at which the system is reset.
+    pub reset_at: usize,
+    /// Total cycles captured.
+    pub total: usize,
+}
+
+impl Default for TraceSchedule {
+    fn default() -> Self {
+        // Mirrors Fig. 7's x-axis: upset around cycle 502 of a longer run.
+        TraceSchedule {
+            upset_at: 502,
+            repair_at: 530,
+            reset_at: 580,
+            total: 640,
+        }
+    }
+}
+
+/// One captured cycle.
+#[derive(Debug, Clone, Serialize)]
+pub struct TracePoint {
+    pub cycle: usize,
+    /// Golden output word (low 64 output bits).
+    pub expected: u64,
+    /// DUT output word.
+    pub actual: u64,
+    pub mismatch: bool,
+}
+
+/// A captured error trace.
+#[derive(Debug, Clone, Serialize)]
+pub struct ErrorTrace {
+    pub bit: usize,
+    pub points: Vec<TracePoint>,
+    pub upset_at: usize,
+    pub repair_at: usize,
+    pub reset_at: usize,
+    /// Mismatches in the window between repair and reset: non-zero means
+    /// the error *persisted* through scrubbing.
+    pub errors_after_repair: usize,
+    /// Mismatches after the reset: should be zero for a repaired design.
+    pub errors_after_reset: usize,
+}
+
+fn word(bits: &[bool]) -> u64 {
+    bits.iter()
+        .take(64)
+        .enumerate()
+        .fold(0u64, |acc, (i, &b)| acc | ((b as u64) << i))
+}
+
+/// Run golden and DUT side by side through the schedule, flipping `bit`
+/// per the schedule, and capture the output words. The testbed must have
+/// been prepared with at least `schedule.total` cycles of stimulus.
+pub fn capture_trace(tb: &Testbed, bit: usize, schedule: TraceSchedule) -> ErrorTrace {
+    assert!(
+        schedule.upset_at < schedule.repair_at
+            && schedule.repair_at < schedule.reset_at
+            && schedule.reset_at < schedule.total
+    );
+    assert!(
+        tb.trace_len() >= schedule.total,
+        "testbed trace too short: {} < {}",
+        tb.trace_len(),
+        schedule.total
+    );
+
+    let mut dut: Device = tb.base.clone();
+    let mut golden: Device = tb.base.clone();
+    let mut points = Vec::with_capacity(schedule.total);
+    let mut errors_after_repair = 0;
+    let mut errors_after_reset = 0;
+
+    for c in 0..schedule.total {
+        if c == schedule.upset_at {
+            dut.flip_config_bit(bit);
+        }
+        if c == schedule.repair_at {
+            dut.flip_config_bit(bit);
+        }
+        if c == schedule.reset_at {
+            // "The design must be reset in order to re-synchronize."
+            dut.reset();
+            golden.reset();
+        }
+        let iv = &tb.stimulus[c];
+        let a = word(&dut.step(iv));
+        let e = word(&golden.step(iv));
+        let mismatch = a != e;
+        if mismatch && c >= schedule.repair_at && c < schedule.reset_at {
+            errors_after_repair += 1;
+        }
+        if mismatch && c >= schedule.reset_at {
+            errors_after_reset += 1;
+        }
+        points.push(TracePoint {
+            cycle: c,
+            expected: e,
+            actual: a,
+            mismatch,
+        });
+    }
+
+    ErrorTrace {
+        bit,
+        points,
+        upset_at: schedule.upset_at,
+        repair_at: schedule.repair_at,
+        reset_at: schedule.reset_at,
+        errors_after_repair,
+        errors_after_reset,
+    }
+}

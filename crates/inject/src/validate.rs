@@ -1,0 +1,237 @@
+//! Simulator-vs-beam validation (paper §III-B, Figs. 11–12).
+//!
+//! The accelerator procedure per observation interval: run the DUT and the
+//! golden part at speed in the beam, log output discrepancies with
+//! timestamps, read back the configuration at intervals, repair any
+//! bitstream upset by partial reconfiguration, and reset both designs
+//! after an output error. Afterwards, each *observed* output error is
+//! checked against the SEU simulator's sensitivity map: the paper found
+//! 97.6 % of beam-observed errors were predicted. The shortfall is
+//! structural — strikes on hidden state (half-latches, user FFs, the
+//! configuration FSM) produce errors no bitstream-corruption simulator can
+//! predict.
+
+use std::collections::HashSet;
+
+use cibola_arch::{Device, SimDuration, SimTime};
+use cibola_radiation::target::UpsetTarget;
+use cibola_radiation::ProtonBeam;
+use serde::Serialize;
+
+use crate::testbed::Testbed;
+
+/// Accelerator-run parameters.
+#[derive(Debug, Clone)]
+pub struct BeamRunConfig {
+    /// Number of 0.5 s-class observation intervals.
+    pub observations: usize,
+    /// Cycles executed per observation interval.
+    pub cycles_per_observation: usize,
+    /// Simulated length of one observation interval.
+    pub observation: SimDuration,
+    /// Fig. 12 loop time ("each iteration of the test loop takes about
+    /// 430 µs to complete").
+    pub loop_time: SimDuration,
+}
+
+impl Default for BeamRunConfig {
+    fn default() -> Self {
+        BeamRunConfig {
+            observations: 400,
+            cycles_per_observation: 64,
+            observation: SimDuration::from_millis(500),
+            loop_time: SimDuration::from_micros(430),
+        }
+    }
+}
+
+/// Classified cause of one observed output-error event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum ErrorCause {
+    /// A configuration bit the simulator's map marks sensitive: predicted.
+    PredictedConfig,
+    /// A configuration bit the map calls benign (mis-prediction).
+    UnpredictedConfig,
+    /// Hidden state: half-latch, user FF or configuration FSM — outside
+    /// the simulator's reach by construction.
+    HiddenState,
+}
+
+/// Result of a beam validation run.
+#[derive(Debug, Clone, Serialize)]
+pub struct ValidationResult {
+    pub observations: usize,
+    /// Upsets landed, by class.
+    pub config_strikes: usize,
+    pub half_latch_strikes: usize,
+    pub user_ff_strikes: usize,
+    pub fsm_strikes: usize,
+    /// Output-error events observed, with causes.
+    pub error_events: Vec<ErrorCause>,
+    /// Bitstream upsets found and repaired by readback scrubbing.
+    pub bitstream_repairs: usize,
+    /// Full reconfigurations (errors with clean bitstream, or FSM upsets).
+    pub full_reconfigs: usize,
+    /// Total simulated beam time.
+    pub sim_time: SimDuration,
+}
+
+impl ValidationResult {
+    /// Fraction of observed output errors that the SEU simulator
+    /// predicted — the paper's headline 97.6 %.
+    pub fn agreement(&self) -> f64 {
+        if self.error_events.is_empty() {
+            return 1.0;
+        }
+        let predicted = self
+            .error_events
+            .iter()
+            .filter(|c| **c == ErrorCause::PredictedConfig)
+            .count();
+        predicted as f64 / self.error_events.len() as f64
+    }
+
+    pub fn error_count(&self) -> usize {
+        self.error_events.len()
+    }
+}
+
+/// Run the accelerator-test procedure of Fig. 12 against `beam`, scoring
+/// each observed output error against `sensitive_map` (the exhaustive
+/// campaign's sensitivity set).
+pub fn beam_validation(
+    tb: &Testbed,
+    beam: &mut ProtonBeam,
+    sensitive_map: &HashSet<usize>,
+    cfg: &BeamRunConfig,
+) -> ValidationResult {
+    let mut dut: Device = tb.base.clone();
+    let mut now = SimTime::ZERO;
+    let mut next_strike = now + beam.next_strike_in();
+
+    let mut result = ValidationResult {
+        observations: cfg.observations,
+        config_strikes: 0,
+        half_latch_strikes: 0,
+        user_ff_strikes: 0,
+        fsm_strikes: 0,
+        error_events: Vec::new(),
+        bitstream_repairs: 0,
+        full_reconfigs: 0,
+        sim_time: SimDuration::ZERO,
+    };
+
+    // Outstanding strikes since the last repair/reset, for attribution.
+    let mut outstanding: Vec<UpsetTarget> = Vec::new();
+    let mut cycle_cursor = 0usize;
+
+    for _ in 0..cfg.observations {
+        let interval_end = now + cfg.observation;
+
+        // Periodic resynchronization: restart the stimulus when the
+        // prepared trace would run out (the fixture restarted runs
+        // between fluence steps).
+        if cycle_cursor + cfg.cycles_per_observation > tb.trace_len() {
+            dut.reset();
+            cycle_cursor = 0;
+        }
+
+        // Land any strikes scheduled within this observation.
+        while next_strike < interval_end {
+            let t = beam.strike(&mut dut);
+            match t {
+                UpsetTarget::ConfigBit(_) => result.config_strikes += 1,
+                UpsetTarget::HalfLatch(_) => result.half_latch_strikes += 1,
+                UpsetTarget::UserFf { .. } => result.user_ff_strikes += 1,
+                UpsetTarget::ConfigFsm => result.fsm_strikes += 1,
+            }
+            outstanding.push(t);
+            next_strike = next_strike + beam.next_strike_in();
+        }
+
+        // Run the designs at speed, comparing against the golden trace.
+        let mut output_error = false;
+        for _ in 0..cfg.cycles_per_observation {
+            let out = dut.step(&tb.stimulus[cycle_cursor]);
+            if out != tb.golden[cycle_cursor] {
+                output_error = true;
+            }
+            cycle_cursor += 1;
+        }
+
+        // Readback pass: find and repair bitstream upsets.
+        let diffs = dut.config().diff(&tb.bitstream);
+        let had_bitstream_upsets = !diffs.is_empty();
+        if !dut.is_programmed() {
+            // The configuration FSM is upset: only a full reconfiguration
+            // recovers ("the device becomes unprogrammed").
+            dut.configure_full(&tb.bitstream);
+            result.full_reconfigs += 1;
+            cycle_cursor = 0;
+        } else if had_bitstream_upsets {
+            for bit in &diffs {
+                let (addr, _) = tb.bitstream.locate(*bit);
+                let golden_frame = tb.bitstream.read_frame(addr);
+                dut.partial_configure_frame(addr, &golden_frame);
+            }
+            result.bitstream_repairs += diffs.len();
+        }
+
+        if output_error {
+            // Attribute the event.
+            let cause = attribute(&outstanding, sensitive_map);
+            result.error_events.push(cause);
+            if matches!(cause, ErrorCause::HiddenState) && dut.is_programmed() {
+                // Errors with a clean bitstream: the crews reconfigured
+                // fully, which also heals half-latches.
+                dut.configure_full(&tb.bitstream);
+                result.full_reconfigs += 1;
+            } else {
+                // "If an output error is observed, both designs are reset."
+                dut.reset();
+            }
+            cycle_cursor = 0;
+            outstanding.clear();
+        } else if had_bitstream_upsets {
+            // Repaired without visible error; clear attribution state and
+            // resynchronize to the trace start.
+            dut.reset();
+            cycle_cursor = 0;
+            outstanding.clear();
+        }
+
+        now = interval_end;
+        result.sim_time += cfg.observation + cfg.loop_time * cfg.cycles_per_observation as u64;
+    }
+
+    result
+}
+
+fn attribute(outstanding: &[UpsetTarget], sensitive_map: &HashSet<usize>) -> ErrorCause {
+    let mut saw_config_hit = false;
+    let mut saw_config_benign = false;
+    let mut saw_hidden = false;
+    for t in outstanding {
+        match t {
+            UpsetTarget::ConfigBit(b) => {
+                if sensitive_map.contains(b) {
+                    saw_config_hit = true;
+                } else {
+                    saw_config_benign = true;
+                }
+            }
+            _ => saw_hidden = true,
+        }
+    }
+    if saw_config_hit {
+        ErrorCause::PredictedConfig
+    } else if saw_hidden {
+        ErrorCause::HiddenState
+    } else if saw_config_benign {
+        ErrorCause::UnpredictedConfig
+    } else {
+        // No outstanding strike at all (e.g. a lingering half-latch upset
+        // from before the window): hidden state.
+        ErrorCause::HiddenState
+    }
+}

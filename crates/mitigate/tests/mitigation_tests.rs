@@ -1,0 +1,170 @@
+//! Mitigation integration tests: RadDRC preserves function and removes
+//! half-latches; TMR preserves function and masks single upsets.
+
+use std::collections::HashSet;
+
+use cibola_arch::{Device, Geometry};
+use cibola_mitigate::{remove_half_latches, selective_tmr, tmr, ConstSource};
+use cibola_netlist::{gen, implement, NetlistSim, Stimulus};
+
+/// Functional equivalence of two netlists under random stimulus.
+fn equivalent(a: &cibola_netlist::Netlist, b: &cibola_netlist::Netlist, cycles: usize, seed: u64) {
+    let mut sa = NetlistSim::new(a);
+    let mut sb = NetlistSim::new(b);
+    // The mitigated design may have extra inputs (external constant pin):
+    // feed those with constant 1.
+    let wa = a.inputs.len();
+    let wb = b.inputs.len();
+    let mut stim = Stimulus::new(seed, wa);
+    for c in 0..cycles {
+        let iv = stim.next_vector();
+        let mut ivb = iv.clone();
+        ivb.resize(wb, true);
+        let oa = sa.step(&iv);
+        let ob = sb.step(&ivb);
+        assert_eq!(oa, ob[..oa.len()], "divergence at cycle {c}");
+    }
+}
+
+#[test]
+fn raddrc_lutrom_preserves_function_and_strips_half_latches() {
+    for nl in [
+        gen::counter_adder(6),
+        gen::pipelined_multiplier(4),
+        gen::lfsr_cluster_with(1, 8, 3),
+    ] {
+        let (mit, report) = remove_half_latches(&nl, ConstSource::LutRom, true);
+        assert_eq!(mit.const_ctrl_pins(), 0, "{}: critical pins remain", nl.name);
+        assert!(report.total_rewired() > 0);
+        assert!(report.const_cells_added >= 1);
+        equivalent(&nl, &mit, 150, 11);
+    }
+}
+
+#[test]
+fn raddrc_external_pin_variant_works() {
+    let nl = gen::counter_adder(4);
+    let (mit, report) = remove_half_latches(&nl, ConstSource::ExternalPin, false);
+    assert_eq!(report.ports_added, 1);
+    assert_eq!(mit.inputs.len(), nl.inputs.len() + 1);
+    assert_eq!(mit.const_ctrl_pins(), 0);
+    equivalent(&nl, &mit, 100, 12);
+}
+
+#[test]
+fn raddrc_design_has_no_half_latch_sites_on_device() {
+    let geom = Geometry::small();
+    let nl = gen::counter_adder(6);
+    let (mit, _) = remove_half_latches(&nl, ConstSource::LutRom, true);
+
+    let imp_un = implement(&nl, &geom).unwrap();
+    let imp_mit = implement(&mit, &geom).unwrap();
+
+    let mut dev_un = Device::new(geom.clone());
+    dev_un.configure_full(&imp_un.bitstream);
+    let mut dev_mit = Device::new(geom.clone());
+    dev_mit.configure_full(&imp_mit.bitstream);
+
+    let hl_un = dev_un.network_stats().half_latch_sites;
+    let hl_mit = dev_mit.network_stats().half_latch_sites;
+    assert!(hl_un > 10, "unmitigated design uses half-latches ({hl_un})");
+    assert_eq!(hl_mit, 0, "RadDRC'd design must use none");
+}
+
+#[test]
+fn tmr_preserves_function() {
+    for nl in [gen::counter_adder(4), gen::pipelined_multiplier(3)] {
+        let (t, report) = tmr(&nl);
+        assert_eq!(report.cells_untouched, 0);
+        assert!(report.voters_added >= nl.ff_count());
+        equivalent(&nl, &t, 120, 13);
+    }
+}
+
+#[test]
+fn tmr_masks_single_replica_upsets() {
+    // Corrupt one replica's LUT truth table on the configured device: the
+    // voted outputs must not change. The same upset on the unmitigated
+    // design must change them (choose a bit known sensitive).
+    let geom = Geometry::small();
+    let nl = gen::counter_adder(4);
+    let (t, _) = tmr(&nl);
+    let imp = implement(&t, &geom).unwrap();
+
+    let mut golden = Device::new(geom.clone());
+    golden.configure_full(&imp.bitstream);
+    let mut probe = golden.clone();
+    let active = probe.active_config_bits();
+
+    // Try LUT-table bits of the active cone; every single one must be
+    // masked by the voters.
+    let mut tested = 0;
+    let mut masked = 0;
+    for &bit in active.iter() {
+        let locus = imp.bitstream.describe(bit);
+        let is_lut_table = matches!(
+            locus,
+            cibola_arch::BitLocus::Clb {
+                role: cibola_arch::bits::BitRole::LutTable { .. },
+                ..
+            }
+        );
+        if !is_lut_table {
+            continue;
+        }
+        tested += 1;
+        if tested > 120 {
+            break;
+        }
+        let mut dut = golden.clone();
+        dut.flip_config_bit(bit);
+        let mut ok = true;
+        let mut gold_run = golden.clone();
+        for _ in 0..24 {
+            let a = dut.step(&[false; 8]);
+            let g = gold_run.step(&[false; 8]);
+            if a != g {
+                ok = false;
+                break;
+            }
+        }
+        if ok {
+            masked += 1;
+        }
+    }
+    assert!(tested > 60);
+    let rate = masked as f64 / tested as f64;
+    assert!(
+        rate > 0.95,
+        "TMR should mask nearly all single LUT-bit upsets, masked {masked}/{tested}"
+    );
+}
+
+#[test]
+fn selective_tmr_protects_only_the_chosen_cells() {
+    let nl = gen::counter_adder(4);
+    // Protect only the FF cells (the persistent cross-section).
+    let protect: HashSet<usize> = nl
+        .cells
+        .iter()
+        .enumerate()
+        .filter(|(_, c)| matches!(c, cibola_netlist::Cell::Ff(_)))
+        .map(|(i, _)| i)
+        .collect();
+    let (sel, report) = selective_tmr(&nl, &protect);
+    assert_eq!(report.cells_triplicated, protect.len());
+    assert!(report.cells_untouched > 0);
+    assert!(sel.cells.len() < tmr(&nl).0.cells.len());
+    equivalent(&nl, &sel, 120, 14);
+}
+
+#[test]
+fn tmr_area_cost_is_roughly_3x() {
+    let nl = gen::pipelined_multiplier(4);
+    let (t, _) = tmr(&nl);
+    let ratio = t.cells.len() as f64 / nl.cells.len() as f64;
+    assert!(
+        (3.0..4.0).contains(&ratio),
+        "TMR area ratio {ratio:.2} (3× + voters)"
+    );
+}

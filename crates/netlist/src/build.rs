@@ -1,0 +1,382 @@
+//! Netlist construction API used by the design generators.
+
+use cibola_arch::bits::LutMode;
+
+use crate::ir::{BramCell, Cell, Ctrl, FfCell, LutCell, NetId, Netlist};
+
+/// Builder for [`Netlist`]s.
+#[derive(Debug)]
+pub struct NetlistBuilder {
+    nl: Netlist,
+}
+
+impl NetlistBuilder {
+    pub fn new(name: &str) -> Self {
+        NetlistBuilder {
+            nl: Netlist {
+                name: name.to_string(),
+                num_nets: 0,
+                inputs: Vec::new(),
+                outputs: Vec::new(),
+                cells: Vec::new(),
+            },
+        }
+    }
+
+    fn fresh(&mut self) -> NetId {
+        self.nl.fresh_net()
+    }
+
+    /// Declare the next input port.
+    pub fn input(&mut self) -> NetId {
+        let n = self.fresh();
+        self.nl.inputs.push(n);
+        n
+    }
+
+    /// Declare `n` input ports.
+    pub fn inputs(&mut self, n: usize) -> Vec<NetId> {
+        (0..n).map(|_| self.input()).collect()
+    }
+
+    /// Bind a net to the next output port.
+    pub fn output(&mut self, net: NetId) {
+        self.nl.outputs.push(net);
+    }
+
+    /// Bind nets to consecutive output ports.
+    pub fn outputs(&mut self, nets: &[NetId]) {
+        for &n in nets {
+            self.output(n);
+        }
+    }
+
+    /// A generic LUT over 1–4 inputs. `f` maps the input assignment (bit
+    /// `i` = value of `ins[i]`) to the output. The truth table is
+    /// replicated across unused pins so half-latch-kept pins are
+    /// don't-cares (paper §III-C: "LUTs are redundantly encoded").
+    pub fn lut(&mut self, ins: &[NetId], f: impl Fn(usize) -> bool) -> NetId {
+        assert!(!ins.is_empty() && ins.len() <= 4, "LUT takes 1–4 inputs");
+        let k = ins.len();
+        let mut table = 0u16;
+        for a in 0..16 {
+            if f(a & ((1 << k) - 1)) {
+                table |= 1 << a;
+            }
+        }
+        let mut pins = [None; 4];
+        for (i, &n) in ins.iter().enumerate() {
+            pins[i] = Some(n);
+        }
+        let out = self.fresh();
+        self.nl.cells.push(Cell::Lut(LutCell {
+            out,
+            table,
+            ins: pins,
+            mode: LutMode::Logic,
+            wdata: None,
+            wen: Ctrl::Zero,
+        }));
+        out
+    }
+
+    /// A constant net realised as a LUT-ROM (the RadDRC-preferred constant
+    /// source — costs a LUT but no half-latch).
+    pub fn const_net(&mut self, v: bool) -> NetId {
+        let out = self.fresh();
+        self.nl.cells.push(Cell::Lut(LutCell {
+            out,
+            table: if v { 0xffff } else { 0x0000 },
+            ins: [None; 4],
+            mode: LutMode::Rom,
+            wdata: None,
+            wen: Ctrl::Zero,
+        }));
+        out
+    }
+
+    pub fn not(&mut self, a: NetId) -> NetId {
+        self.lut(&[a], |x| x & 1 == 0)
+    }
+
+    pub fn buf(&mut self, a: NetId) -> NetId {
+        self.lut(&[a], |x| x & 1 == 1)
+    }
+
+    pub fn and2(&mut self, a: NetId, b: NetId) -> NetId {
+        self.lut(&[a, b], |x| x == 3)
+    }
+
+    pub fn or2(&mut self, a: NetId, b: NetId) -> NetId {
+        self.lut(&[a, b], |x| x != 0)
+    }
+
+    pub fn xor2(&mut self, a: NetId, b: NetId) -> NetId {
+        self.lut(&[a, b], |x| (x.count_ones() & 1) == 1)
+    }
+
+    pub fn xor3(&mut self, a: NetId, b: NetId, c: NetId) -> NetId {
+        self.lut(&[a, b, c], |x| (x.count_ones() & 1) == 1)
+    }
+
+    /// 2:1 mux: `s ? b : a`.
+    pub fn mux2(&mut self, s: NetId, a: NetId, b: NetId) -> NetId {
+        self.lut(&[s, a, b], |x| {
+            if x & 1 == 1 {
+                (x >> 2) & 1 == 1
+            } else {
+                (x >> 1) & 1 == 1
+            }
+        })
+    }
+
+    /// Full-adder sum bit.
+    pub fn fa_sum(&mut self, a: NetId, b: NetId, cin: NetId) -> NetId {
+        self.xor3(a, b, cin)
+    }
+
+    /// Full-adder carry-out (majority).
+    pub fn fa_carry(&mut self, a: NetId, b: NetId, cin: NetId) -> NetId {
+        self.lut(&[a, b, cin], |x| x.count_ones() >= 2)
+    }
+
+    /// A flip-flop with always-on clock enable and constant-inactive reset —
+    /// the shape whose CE/SR pins the CAD flow keeps with half-latches.
+    pub fn ff(&mut self, d: NetId, init: bool) -> NetId {
+        self.ff_full(d, Ctrl::One, Ctrl::Zero, init)
+    }
+
+    /// A flip-flop with a net-driven clock enable.
+    pub fn ff_ce(&mut self, d: NetId, ce: NetId, init: bool) -> NetId {
+        self.ff_full(d, Ctrl::Net(ce), Ctrl::Zero, init)
+    }
+
+    /// A flip-flop with explicit CE and SR connections.
+    pub fn ff_full(&mut self, d: NetId, ce: Ctrl, sr: Ctrl, init: bool) -> NetId {
+        let out = self.fresh();
+        self.nl.cells.push(Cell::Ff(FfCell { out, d, ce, sr, init }));
+        out
+    }
+
+    /// A 16×1 distributed RAM (LUT-RAM): `addr` is 1–4 bits, written with
+    /// `wdata` when `wen` is high; reads combinationally.
+    pub fn lut_ram(&mut self, addr: &[NetId], wdata: NetId, wen: NetId, init: u16) -> NetId {
+        assert!(!addr.is_empty() && addr.len() <= 4);
+        let mut pins = [None; 4];
+        for (i, &n) in addr.iter().enumerate() {
+            pins[i] = Some(n);
+        }
+        let out = self.fresh();
+        self.nl.cells.push(Cell::Lut(LutCell {
+            out,
+            table: init,
+            ins: pins,
+            mode: LutMode::Ram,
+            wdata: Some(wdata),
+            wen: Ctrl::Net(wen),
+        }));
+        out
+    }
+
+    /// An SRL16 shift register: shifts `wdata` in when `wen` is high; the
+    /// output taps position `addr` (static tap if `addr` is a constant
+    /// pattern of nets).
+    pub fn srl16(&mut self, addr: &[NetId], wdata: NetId, wen: Ctrl, init: u16) -> NetId {
+        let mut pins = [None; 4];
+        for (i, &n) in addr.iter().enumerate() {
+            pins[i] = Some(n);
+        }
+        let out = self.fresh();
+        self.nl.cells.push(Cell::Lut(LutCell {
+            out,
+            table: init,
+            ins: pins,
+            mode: LutMode::Shift,
+            wdata: Some(wdata),
+            wen,
+        }));
+        out
+    }
+
+    /// A Block SelectRAM port. Returns the 16 data-out nets.
+    pub fn bram(
+        &mut self,
+        addr: &[NetId],
+        din: &[Option<NetId>],
+        we: Ctrl,
+        en: Ctrl,
+        init: Vec<u16>,
+    ) -> Vec<NetId> {
+        assert!(addr.len() <= 8 && din.len() <= 16);
+        assert_eq!(init.len(), 256);
+        let mut a = [None; 8];
+        for (i, &n) in addr.iter().enumerate() {
+            a[i] = Some(n);
+        }
+        let mut d = [None; 16];
+        for (i, &n) in din.iter().enumerate() {
+            d[i] = n;
+        }
+        let dout: Vec<NetId> = (0..16).map(|_| self.fresh()).collect();
+        let mut douts = [None; 16];
+        for (i, &n) in dout.iter().enumerate() {
+            douts[i] = Some(n);
+        }
+        self.nl.cells.push(Cell::Bram(BramCell {
+            addr: a,
+            din: d,
+            dout: douts,
+            we,
+            en,
+            init,
+        }));
+        dout
+    }
+
+    /// Ripple-carry add of two equal-width vectors; returns `width + 1`
+    /// bits (sum plus carry-out).
+    pub fn adder(&mut self, a: &[NetId], b: &[NetId]) -> Vec<NetId> {
+        assert_eq!(a.len(), b.len());
+        let mut out = Vec::with_capacity(a.len() + 1);
+        let mut carry: Option<NetId> = None;
+        for i in 0..a.len() {
+            match carry {
+                None => {
+                    out.push(self.xor2(a[i], b[i]));
+                    carry = Some(self.and2(a[i], b[i]));
+                }
+                Some(c) => {
+                    out.push(self.fa_sum(a[i], b[i], c));
+                    carry = Some(self.fa_carry(a[i], b[i], c));
+                }
+            }
+        }
+        out.push(carry.expect("non-empty add"));
+        out
+    }
+
+    /// Register a bus (one FF per bit, always enabled).
+    pub fn register(&mut self, bus: &[NetId]) -> Vec<NetId> {
+        bus.iter().map(|&n| self.ff(n, false)).collect()
+    }
+
+    /// Declare a net now and drive it later (feedback construction: LFSRs,
+    /// counters). Must be driven exactly once before [`finish`].
+    ///
+    /// [`finish`]: NetlistBuilder::finish
+    pub fn forward(&mut self) -> NetId {
+        self.fresh()
+    }
+
+    /// A flip-flop whose D input is the pre-declared `d` net (driven
+    /// later) — the feedback-loop primitive.
+    pub fn ff_from_forward(&mut self, d: NetId, init: bool) -> NetId {
+        let out = self.fresh();
+        self.nl.cells.push(Cell::Ff(FfCell {
+            out,
+            d,
+            ce: Ctrl::One,
+            sr: Ctrl::Zero,
+            init,
+        }));
+        out
+    }
+
+    /// A LUT driving the pre-declared net `out` (closes feedback loops).
+    pub fn lut_into(&mut self, out: NetId, ins: &[NetId], f: impl Fn(usize) -> bool) {
+        assert!(!ins.is_empty() && ins.len() <= 4, "LUT takes 1–4 inputs");
+        let k = ins.len();
+        let mut table = 0u16;
+        for a in 0..16 {
+            if f(a & ((1 << k) - 1)) {
+                table |= 1 << a;
+            }
+        }
+        let mut pins = [None; 4];
+        for (i, &n) in ins.iter().enumerate() {
+            pins[i] = Some(n);
+        }
+        self.nl.cells.push(Cell::Lut(LutCell {
+            out,
+            table,
+            ins: pins,
+            mode: LutMode::Logic,
+            wdata: None,
+            wen: Ctrl::Zero,
+        }));
+    }
+
+    /// Append a fully-formed cell (used by netlist-splicing tools).
+    pub fn push_cell(&mut self, cell: Cell) {
+        self.nl.cells.push(cell);
+    }
+
+    /// Finish, validating single-driver discipline.
+    pub fn finish(self) -> Netlist {
+        self.nl
+            .validate()
+            .unwrap_or_else(|e| panic!("invalid netlist '{}': {e}", self.nl.name));
+        self.nl
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lut_tables_replicate_for_unused_pins() {
+        let mut b = NetlistBuilder::new("t");
+        let a = b.input();
+        let n = b.not(a);
+        b.output(n);
+        let nl = b.finish();
+        let Cell::Lut(l) = &nl.cells[0] else { panic!() };
+        // Output must only depend on pin 0.
+        for addr in 0..16 {
+            let base = (l.table >> (addr & 1)) & 1;
+            assert_eq!((l.table >> addr) & 1, base, "table not replicated");
+        }
+    }
+
+    #[test]
+    fn adder_shape() {
+        let mut b = NetlistBuilder::new("add");
+        let a = b.inputs(4);
+        let c = b.inputs(4);
+        let s = b.adder(&a, &c);
+        assert_eq!(s.len(), 5);
+        b.outputs(&s);
+        let nl = b.finish();
+        assert!(nl.lut_count() >= 8);
+        assert_eq!(nl.outputs.len(), 5);
+    }
+
+    #[test]
+    fn ff_defaults_are_half_latch_shaped() {
+        let mut b = NetlistBuilder::new("ff");
+        let a = b.input();
+        let q = b.ff(a, false);
+        b.output(q);
+        let nl = b.finish();
+        assert_eq!(nl.const_ctrl_pins(), 2, "CE and SR both constant-tied");
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple drivers")]
+    fn double_driver_rejected() {
+        let mut b = NetlistBuilder::new("bad");
+        let a = b.input();
+        let n = b.buf(a);
+        // Manually create a second driver for `n`.
+        b.nl.cells.push(Cell::Ff(FfCell {
+            out: n,
+            d: a,
+            ce: Ctrl::One,
+            sr: Ctrl::Zero,
+            init: false,
+        }));
+        b.output(n);
+        b.finish();
+    }
+}

@@ -1,0 +1,447 @@
+//! The implementation flow: place → emit static configuration → route.
+//!
+//! This is the reproduction's stand-in for the Xilinx CAD flow the paper's
+//! designs went through, including the behaviour RadDRC exists to fix: any
+//! constant-tied control pin and any unused LUT pin is realised with a
+//! half-latch (paper §III-C — "The Xilinx CAD tools use half-latches
+//! frequently to provide constants in circuits").
+
+use cibola_arch::bits::{
+    ff_dmux_offset, ff_init_offset, input_mux_offset, lut_mode_offset, lut_table_offset,
+    out_sel_offset, MuxPin, MUX_FIELD_BITS, MUX_FLOATING, MUX_UNCONNECTED, MUX_UNCONNECTED_INV,
+};
+use cibola_arch::frames::{bram_if_addr_off, bram_if_din_off, BRAM_IF_EN_OFF, BRAM_IF_WE_OFF};
+use cibola_arch::frames::IobEntry;
+use cibola_arch::geometry::WIRES_PER_DIR;
+use cibola_arch::{Bitstream, ConfigMemory, Edge, Geometry};
+
+use crate::ir::{Cell, Ctrl, Netlist};
+use crate::place::{place, CellSite, PlaceError, Placement};
+use crate::route::{RouteError, Router, Sink, Source};
+
+/// Resource usage and implementation statistics (Table I, column 2).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DesignReport {
+    pub name: String,
+    pub luts: usize,
+    pub ffs: usize,
+    pub brams: usize,
+    /// Distinct slices occupied.
+    pub slices_used: usize,
+    /// Slices on the device.
+    pub slice_total: usize,
+    pub tiles_used: usize,
+    pub nets: usize,
+    /// Single-length wire segments allocated by the router.
+    pub route_hops: usize,
+    /// Constant-tied control pins — critical half-latch sites.
+    pub const_ctrl_pins: usize,
+    /// Total configuration bits of the device (the injection space).
+    pub config_bits: usize,
+}
+
+impl DesignReport {
+    /// Occupied-slice fraction, as Table I reports ("2178 (15.8 %)").
+    pub fn slice_fraction(&self) -> f64 {
+        self.slices_used as f64 / self.slice_total as f64
+    }
+}
+
+impl std::fmt::Display for DesignReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}: {} slices ({:.1}%), {} LUTs, {} FFs, {} BRAMs, {} nets, {} hops, {} half-latch ctrl pins",
+            self.name,
+            self.slices_used,
+            100.0 * self.slice_fraction(),
+            self.luts,
+            self.ffs,
+            self.brams,
+            self.nets,
+            self.route_hops,
+            self.const_ctrl_pins,
+        )
+    }
+}
+
+/// A fully implemented design.
+#[derive(Debug, Clone)]
+pub struct Implementation {
+    /// The golden configuration image.
+    pub bitstream: Bitstream,
+    pub placement: Placement,
+    pub report: DesignReport,
+}
+
+/// Flow failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FlowError {
+    Place(PlaceError),
+    Route(RouteError),
+    /// More ports than edge wires.
+    TooManyPorts { kind: &'static str, needed: usize, available: usize },
+}
+
+impl std::fmt::Display for FlowError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FlowError::Place(e) => write!(f, "placement: {e}"),
+            FlowError::Route(e) => write!(f, "routing: {e}"),
+            FlowError::TooManyPorts {
+                kind,
+                needed,
+                available,
+            } => write!(f, "{kind} ports: need {needed}, edge offers {available}"),
+        }
+    }
+}
+
+impl std::error::Error for FlowError {}
+
+impl From<PlaceError> for FlowError {
+    fn from(e: PlaceError) -> Self {
+        FlowError::Place(e)
+    }
+}
+
+impl From<RouteError> for FlowError {
+    fn from(e: RouteError) -> Self {
+        FlowError::Route(e)
+    }
+}
+
+/// Edge binding of input port `i`: ports spread across rows to spread
+/// routing load.
+pub fn input_binding(geom: &Geometry, port: usize) -> (usize, usize) {
+    (port % geom.rows, port / geom.rows)
+}
+
+fn ctrl_mux_value(c: Ctrl) -> Option<u64> {
+    match c {
+        Ctrl::One => Some(MUX_UNCONNECTED as u64),
+        Ctrl::Zero => Some(MUX_UNCONNECTED_INV as u64),
+        Ctrl::Net(_) => None, // routed later
+    }
+}
+
+/// Implement `nl` on a device of geometry `geom`.
+pub fn implement(nl: &Netlist, geom: &Geometry) -> Result<Implementation, FlowError> {
+    nl.validate().expect("netlist must validate");
+    let max_inputs = geom.rows * WIRES_PER_DIR;
+    if nl.inputs.len() > max_inputs {
+        return Err(FlowError::TooManyPorts {
+            kind: "input",
+            needed: nl.inputs.len(),
+            available: max_inputs,
+        });
+    }
+    if nl.outputs.len() > max_inputs {
+        return Err(FlowError::TooManyPorts {
+            kind: "output",
+            needed: nl.outputs.len(),
+            available: max_inputs,
+        });
+    }
+    if nl.outputs.len() > 256 {
+        return Err(FlowError::TooManyPorts {
+            kind: "output (IOB port field)",
+            needed: nl.outputs.len(),
+            available: 256,
+        });
+    }
+
+    let placement = place(nl, geom)?;
+    let mut cm = ConfigMemory::new(geom.clone());
+
+    // ---- input IOB entries -------------------------------------------------
+    for (i, _) in nl.inputs.iter().enumerate() {
+        let (row, wire) = input_binding(geom, i);
+        cm.write_iob(
+            Edge::West,
+            row,
+            wire,
+            IobEntry {
+                enabled: true,
+                port: i as u8,
+                invert: false,
+            },
+        );
+    }
+
+    // ---- static per-cell configuration --------------------------------------
+    for (ci, cell) in nl.cells.iter().enumerate() {
+        match (cell, placement.sites[ci]) {
+            (Cell::Lut(l), CellSite::Slot { slot, paired }) => {
+                let (s, idx) = (slot.slice as usize, slot.idx as usize);
+                cm.write_tile_field(slot.tile, lut_table_offset(s, idx, 0), 16, l.table as u64);
+                cm.write_tile_field(slot.tile, lut_mode_offset(s, idx), 2, l.mode as u64);
+                for (p, pin) in l.ins.iter().enumerate() {
+                    if pin.is_none() {
+                        // Unused pin: kept by a (non-critical) half-latch —
+                        // except on ROM-mode constants, which RadDRC emits
+                        // specifically to avoid half-latches (their pins
+                        // are left floating).
+                        let sel = if l.mode == cibola_arch::bits::LutMode::Rom {
+                            MUX_FLOATING
+                        } else {
+                            MUX_UNCONNECTED
+                        };
+                        cm.write_tile_field(
+                            slot.tile,
+                            input_mux_offset(s, MuxPin::LutPin { lut: idx as u8, pin: p as u8 }),
+                            MUX_FIELD_BITS,
+                            sel as u64,
+                        );
+                    }
+                }
+                if !paired {
+                    cm.write_tile_field(slot.tile, out_sel_offset(s, idx), 1, 0);
+                }
+                if l.mode.is_dynamic() {
+                    if l.wdata.is_none() {
+                        let pin = if idx == 0 { MuxPin::Bx } else { MuxPin::By };
+                        cm.write_tile_field(
+                            slot.tile,
+                            input_mux_offset(s, pin),
+                            MUX_FIELD_BITS,
+                            MUX_UNCONNECTED as u64,
+                        );
+                    }
+                    if let Some(v) = ctrl_mux_value(l.wen) {
+                        let pin = if idx == 0 { MuxPin::Srx } else { MuxPin::Sry };
+                        cm.write_tile_field(slot.tile, input_mux_offset(s, pin), MUX_FIELD_BITS, v);
+                    }
+                }
+            }
+            (Cell::Ff(ff), CellSite::Slot { slot, paired }) => {
+                let (s, idx) = (slot.slice as usize, slot.idx as usize);
+                cm.write_tile_field(slot.tile, ff_init_offset(s, idx), 1, ff.init as u64);
+                cm.write_tile_field(slot.tile, ff_dmux_offset(s, idx), 1, (!paired) as u64);
+                cm.write_tile_field(slot.tile, out_sel_offset(s, idx), 1, 1);
+                if let Some(v) = ctrl_mux_value(ff.ce) {
+                    let pin = if idx == 0 { MuxPin::Cex } else { MuxPin::Cey };
+                    cm.write_tile_field(slot.tile, input_mux_offset(s, pin), MUX_FIELD_BITS, v);
+                }
+                if let Some(v) = ctrl_mux_value(ff.sr) {
+                    let pin = if idx == 0 { MuxPin::Srx } else { MuxPin::Sry };
+                    cm.write_tile_field(slot.tile, input_mux_offset(s, pin), MUX_FIELD_BITS, v);
+                }
+            }
+            (Cell::Bram(b), CellSite::Bram { col, block }) => {
+                let (c, bl) = (col as usize, block as usize);
+                for (a, word) in b.init.iter().enumerate() {
+                    cm.write_bram_word(c, bl, a, *word);
+                }
+                for (i, pin) in b.addr.iter().enumerate() {
+                    if pin.is_none() {
+                        cm.write_bram_if_field(
+                            c,
+                            bl,
+                            bram_if_addr_off(i),
+                            MUX_FIELD_BITS,
+                            MUX_UNCONNECTED as u64,
+                        );
+                    }
+                }
+                for (i, pin) in b.din.iter().enumerate() {
+                    if pin.is_none() {
+                        cm.write_bram_if_field(
+                            c,
+                            bl,
+                            bram_if_din_off(i),
+                            MUX_FIELD_BITS,
+                            MUX_FLOATING as u64,
+                        );
+                    }
+                }
+                if let Some(v) = ctrl_mux_value(b.we) {
+                    cm.write_bram_if_field(c, bl, BRAM_IF_WE_OFF, MUX_FIELD_BITS, v);
+                }
+                if let Some(v) = ctrl_mux_value(b.en) {
+                    cm.write_bram_if_field(c, bl, BRAM_IF_EN_OFF, MUX_FIELD_BITS, v);
+                }
+            }
+            (c, s) => unreachable!("cell {c:?} placed at incompatible site {s:?}"),
+        }
+    }
+
+    // ---- net sources ---------------------------------------------------------
+    let mut src_of_net: Vec<Option<Source>> = vec![None; nl.num_nets()];
+    for (i, p) in nl.inputs.iter().enumerate() {
+        let (row, wire) = input_binding(geom, i);
+        src_of_net[p.0 as usize] = Some(Source::WestEdge {
+            row: row as u16,
+            wire: wire as u8,
+        });
+    }
+    for (ci, cell) in nl.cells.iter().enumerate() {
+        match (cell, placement.sites[ci]) {
+            (Cell::Lut(l), CellSite::Slot { slot, paired }) => {
+                if !paired {
+                    src_of_net[l.out.0 as usize] = Some(Source::SliceOut {
+                        tile: slot.tile,
+                        slice: slot.slice,
+                        out: slot.idx,
+                    });
+                }
+            }
+            (Cell::Ff(ff), CellSite::Slot { slot, .. }) => {
+                src_of_net[ff.out.0 as usize] = Some(Source::SliceOut {
+                    tile: slot.tile,
+                    slice: slot.slice,
+                    out: slot.idx,
+                });
+            }
+            (Cell::Bram(b), CellSite::Bram { col, block }) => {
+                let home = geom.bram_home_tile(col as usize, block as usize);
+                for (bit, dout) in b.dout.iter().enumerate() {
+                    if let Some(net) = dout {
+                        src_of_net[net.0 as usize] = Some(Source::BramOut {
+                            home,
+                            bit: bit as u8,
+                        });
+                    }
+                }
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    // ---- sink list -------------------------------------------------------------
+    let mut routes: Vec<(crate::ir::NetId, Sink)> = Vec::new();
+    for (ci, cell) in nl.cells.iter().enumerate() {
+        match (cell, placement.sites[ci]) {
+            (Cell::Lut(l), CellSite::Slot { slot, .. }) => {
+                for (p, pin) in l.ins.iter().enumerate() {
+                    if let Some(net) = pin {
+                        routes.push((
+                            *net,
+                            Sink::SlicePin {
+                                slot,
+                                pin: MuxPin::LutPin {
+                                    lut: slot.idx,
+                                    pin: p as u8,
+                                },
+                            },
+                        ));
+                    }
+                }
+                if l.mode.is_dynamic() {
+                    if let Some(net) = l.wdata {
+                        let pin = if slot.idx == 0 { MuxPin::Bx } else { MuxPin::By };
+                        routes.push((net, Sink::SlicePin { slot, pin }));
+                    }
+                    if let Ctrl::Net(net) = l.wen {
+                        let pin = if slot.idx == 0 { MuxPin::Srx } else { MuxPin::Sry };
+                        routes.push((net, Sink::SlicePin { slot, pin }));
+                    }
+                }
+            }
+            (Cell::Ff(ff), CellSite::Slot { slot, paired }) => {
+                if !paired {
+                    let pin = if slot.idx == 0 { MuxPin::Bx } else { MuxPin::By };
+                    routes.push((ff.d, Sink::SlicePin { slot, pin }));
+                }
+                if let Ctrl::Net(net) = ff.ce {
+                    let pin = if slot.idx == 0 { MuxPin::Cex } else { MuxPin::Cey };
+                    routes.push((net, Sink::SlicePin { slot, pin }));
+                }
+                if let Ctrl::Net(net) = ff.sr {
+                    let pin = if slot.idx == 0 { MuxPin::Srx } else { MuxPin::Sry };
+                    routes.push((net, Sink::SlicePin { slot, pin }));
+                }
+            }
+            (Cell::Bram(b), CellSite::Bram { col, block }) => {
+                let home = geom.bram_home_tile(col as usize, block as usize);
+                for (i, pin) in b.addr.iter().enumerate() {
+                    if let Some(net) = pin {
+                        routes.push((
+                            *net,
+                            Sink::BramPin {
+                                col,
+                                block,
+                                home,
+                                field_off: bram_if_addr_off(i) as u16,
+                            },
+                        ));
+                    }
+                }
+                for (i, pin) in b.din.iter().enumerate() {
+                    if let Some(net) = pin {
+                        routes.push((
+                            *net,
+                            Sink::BramPin {
+                                col,
+                                block,
+                                home,
+                                field_off: bram_if_din_off(i) as u16,
+                            },
+                        ));
+                    }
+                }
+                if let Ctrl::Net(net) = b.we {
+                    routes.push((
+                        net,
+                        Sink::BramPin {
+                            col,
+                            block,
+                            home,
+                            field_off: BRAM_IF_WE_OFF as u16,
+                        },
+                    ));
+                }
+                if let Ctrl::Net(net) = b.en {
+                    routes.push((
+                        net,
+                        Sink::BramPin {
+                            col,
+                            block,
+                            home,
+                            field_off: BRAM_IF_EN_OFF as u16,
+                        },
+                    ));
+                }
+            }
+            _ => unreachable!(),
+        }
+    }
+    for (p, net) in nl.outputs.iter().enumerate() {
+        routes.push((
+            *net,
+            Sink::EastEdge {
+                row: (p % geom.rows) as u16,
+                port: p as u8,
+            },
+        ));
+    }
+
+    // ---- route ------------------------------------------------------------------
+    let mut router = Router::new(geom, &mut cm);
+    for (net, sink) in routes {
+        let src = src_of_net[net.0 as usize]
+            .unwrap_or_else(|| panic!("net {} has no placed source", net.0));
+        router.route(net, src, sink)?;
+    }
+    let route_hops = router.hops;
+
+    let report = DesignReport {
+        name: nl.name.clone(),
+        luts: nl.lut_count(),
+        ffs: nl.ff_count(),
+        brams: nl.bram_count(),
+        slices_used: placement.slices_used,
+        slice_total: geom.num_slices(),
+        tiles_used: placement.tiles_used,
+        nets: nl.num_nets(),
+        route_hops,
+        const_ctrl_pins: nl.const_ctrl_pins(),
+        config_bits: cm.total_bits(),
+    };
+
+    Ok(Implementation {
+        bitstream: cm,
+        placement,
+        report,
+    })
+}

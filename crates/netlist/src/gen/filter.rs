@@ -1,0 +1,146 @@
+//! Filter preprocessor generator — stands in for the reconfigurable
+//! radio's IF front end ("Filter Preproc." in Table II): a FIR tap line
+//! with constant coefficients and an adder tree (feed-forward bulk), plus
+//! a small decimation counter (the sliver of feedback that gives the
+//! design its ~1 % persistence ratio).
+
+use crate::build::NetlistBuilder;
+use crate::gen::counter::counter_into;
+use crate::ir::{NetId, Netlist};
+
+/// Multiply a bus by a small constant via shift-and-add.
+fn const_multiply(b: &mut NetlistBuilder, x: &[NetId], coef: u32, zero: NetId) -> Vec<NetId> {
+    let mut acc: Option<Vec<NetId>> = None;
+    for s in 0..8 {
+        if (coef >> s) & 1 == 0 {
+            continue;
+        }
+        // x << s
+        let mut shifted: Vec<NetId> = vec![zero; s];
+        shifted.extend_from_slice(x);
+        acc = Some(match acc {
+            None => shifted,
+            Some(a) => {
+                let w = a.len().max(shifted.len());
+                let mut ap = a;
+                ap.resize(w, zero);
+                shifted.resize(w, zero);
+                b.adder(&ap, &shifted)
+            }
+        });
+    }
+    acc.unwrap_or_else(|| vec![zero; x.len()])
+}
+
+/// "Filter Preproc.": `taps`-tap FIR over `sample_bits`-bit input samples
+/// with fixed odd coefficients, a registered adder tree, and a 4-bit
+/// decimation counter whose wrap flag is exported.
+pub fn filter_preproc(taps: usize, sample_bits: usize) -> Netlist {
+    assert!(taps >= 2 && sample_bits >= 2);
+    let mut b = NetlistBuilder::new("Filter Preproc.");
+    let x = b.inputs(sample_bits);
+    let zero = b.const_net(false);
+
+    // Tap delay line.
+    let mut delayed: Vec<Vec<NetId>> = vec![x.clone()];
+    for _ in 1..taps {
+        let prev = delayed.last().unwrap().clone();
+        delayed.push(b.register(&prev));
+    }
+
+    // Constant-coefficient products (odd constants 1, 3, 5, …).
+    let products: Vec<Vec<NetId>> = delayed
+        .iter()
+        .enumerate()
+        .map(|(i, d)| {
+            let coef = (2 * i + 1) as u32 & 0xf;
+            let d = d.clone();
+            const_multiply(&mut b, &d, coef.max(1), zero)
+        })
+        .collect();
+
+    // Registered adder tree.
+    let mut layer = products;
+    while layer.len() > 1 {
+        let mut next = Vec::new();
+        let mut i = 0;
+        while i + 1 < layer.len() {
+            let w = layer[i].len().max(layer[i + 1].len());
+            let mut a = layer[i].clone();
+            let mut c = layer[i + 1].clone();
+            a.resize(w, zero);
+            c.resize(w, zero);
+            let s = b.adder(&a, &c);
+            next.push(b.register(&s));
+            i += 2;
+        }
+        if i < layer.len() {
+            next.push(layer[i].clone());
+        }
+        layer = next;
+    }
+    let sum = layer.pop().unwrap();
+    b.outputs(&sum);
+
+    // Decimation counter: small feedback island.
+    let q = counter_into(&mut b, 4);
+    let wrap = b.lut(&[q[0], q[1], q[2], q[3]], |x| x == 0b1111);
+    let wrap_q = b.ff(wrap, false);
+    b.output(wrap_q);
+
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::NetlistSim;
+
+    fn from_bits(bits: &[bool]) -> u64 {
+        bits.iter()
+            .enumerate()
+            .fold(0u64, |acc, (i, &v)| acc | ((v as u64) << i))
+    }
+
+    #[test]
+    fn impulse_response_shows_coefficients() {
+        let taps = 4;
+        let bits = 4;
+        let nl = filter_preproc(taps, bits);
+        let mut sim = NetlistSim::new(&nl);
+        let n_out = nl.outputs.len() - 1; // last output is the decimation flag
+        // Impulse: x = 1 on the first cycle, 0 afterwards.
+        let mut response = Vec::new();
+        for cycle in 0..16 {
+            let iv: Vec<bool> = (0..bits).map(|i| cycle == 0 && i == 0).collect();
+            let out = sim.step(&iv);
+            response.push(from_bits(&out[..n_out]));
+        }
+        // Coefficients 1, 3, 5, 7 must each appear in the response (the
+        // adder tree delays spread them out).
+        for coef in [1u64, 3, 5, 7] {
+            assert!(
+                response.contains(&coef),
+                "coefficient {coef} missing from impulse response {response:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn decimation_flag_pulses_every_16_cycles() {
+        let nl = filter_preproc(3, 3);
+        let mut sim = NetlistSim::new(&nl);
+        let flag_idx = nl.outputs.len() - 1;
+        let mut pulses = Vec::new();
+        for cycle in 0..64 {
+            let out = sim.step(&vec![false; 3]);
+            if out[flag_idx] {
+                pulses.push(cycle);
+            }
+        }
+        assert!(!pulses.is_empty());
+        for w in pulses.windows(2) {
+            assert_eq!(w[1] - w[0], 16, "decimation period");
+        }
+    }
+}

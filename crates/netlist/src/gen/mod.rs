@@ -1,0 +1,25 @@
+//! Generators for every design the paper evaluates.
+//!
+//! | Paper design       | Generator                         | Character |
+//! |--------------------|-----------------------------------|-----------|
+//! | LFSR 18/36/54/72   | [`lfsr::lfsr_cluster`]            | feedback-dominated |
+//! | MULT 12/24/36/48   | [`mult::pipelined_multiplier`]    | feed-forward data path |
+//! | VMULT 18/36/54/72  | [`mult::vector_multiplier`]       | feed-forward, wide |
+//! | 54 Multiply-Add    | [`mult::mult_add_tree`]           | feed-forward (Fig. 9) |
+//! | 36 Counter/Adder   | [`counter::counter_adder`]        | mixed (Fig. 7 trace) |
+//! | LFSR Multiplier    | [`lfsrmult::lfsr_multiplier`]     | mixed |
+//! | Filter Preproc.    | [`filter::filter_preproc`]        | mostly feed-forward |
+
+pub mod counter;
+pub mod filter;
+pub mod lfsr;
+pub mod lfsrmult;
+pub mod mult;
+pub mod selfcheck;
+
+pub use counter::counter_adder;
+pub use filter::filter_preproc;
+pub use lfsr::{lfsr_cluster, lfsr_cluster_with};
+pub use lfsrmult::lfsr_multiplier;
+pub use mult::{mult_add_tree, pipelined_multiplier, vector_multiplier};
+pub use selfcheck::{self_checking, MISR_BITS};

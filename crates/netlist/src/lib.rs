@@ -1,0 +1,22 @@
+//! # cibola-netlist — designs and the mini CAD flow
+//!
+//! Structural netlist IR ([`ir`]), a construction API ([`build`]), a
+//! reference interpreter ([`sim`]), generators for every design the paper
+//! evaluates ([`gen`]), and an implementation flow
+//! (tech-map/place/route/bitgen, [`flow`]) that turns a netlist into a
+//! `cibola-arch` configuration bitstream — inserting half-latches for
+//! constants exactly as the Xilinx flow the paper studied did.
+
+pub mod build;
+pub mod flow;
+pub mod gen;
+pub mod ir;
+pub mod place;
+pub mod route;
+pub mod sim;
+pub mod verify;
+
+pub use build::NetlistBuilder;
+pub use flow::{implement, DesignReport, FlowError, Implementation};
+pub use ir::{Cell, Ctrl, Netlist, NetId};
+pub use sim::{NetlistSim, Stimulus};

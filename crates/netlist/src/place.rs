@@ -1,0 +1,273 @@
+//! Placement: pack netlist cells onto device slots.
+//!
+//! A *slot* is one LUT/FF position pair — (tile, slice, idx) with idx 0
+//! (F/X) or 1 (G/Y). A slot holds either a lone LUT (exposed
+//! combinationally), a lone FF (exposed registered, D via BX/BY), or a
+//! LUT+FF pair (FF exposed, LUT feeding it through the internal D path).
+//! Cells are packed column-major in creation order, which keeps
+//! generator-local structure (shift chains, adder rows) physically local —
+//! the same effect the paper's designs got from the Xilinx placer.
+
+use cibola_arch::geometry::{Geometry, Tile, LUTS_PER_SLICE, SLICES_PER_TILE};
+
+use crate::ir::{Cell, Netlist};
+
+/// One LUT/FF position pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Slot {
+    pub tile: Tile,
+    pub slice: u8,
+    /// 0 = F/X, 1 = G/Y.
+    pub idx: u8,
+}
+
+/// Where a cell landed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CellSite {
+    /// A LUT or FF occupying `slot`; `paired` marks LUT cells that share
+    /// the slot with the FF they feed.
+    Slot { slot: Slot, paired: bool },
+    /// A BRAM block.
+    Bram { col: u16, block: u16 },
+}
+
+/// Placement result: a site per cell, parallel to `netlist.cells`.
+#[derive(Debug, Clone)]
+pub struct Placement {
+    pub sites: Vec<CellSite>,
+    /// For a paired slot, the cell index of the partner
+    /// (LUT cell → FF cell and vice versa).
+    pub partner: Vec<Option<usize>>,
+    /// Distinct slices used.
+    pub slices_used: usize,
+    /// Distinct tiles used.
+    pub tiles_used: usize,
+}
+
+/// Placement failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlaceError {
+    /// More slots needed than the device offers.
+    TooBig { needed: usize, available: usize },
+    /// More BRAM blocks needed than available.
+    TooManyBrams { needed: usize, available: usize },
+}
+
+impl std::fmt::Display for PlaceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlaceError::TooBig { needed, available } => {
+                write!(f, "design needs {needed} slots, device has {available}")
+            }
+            PlaceError::TooManyBrams { needed, available } => {
+                write!(f, "design needs {needed} BRAMs, device has {available}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PlaceError {}
+
+/// Pack `nl` onto `geom`.
+pub fn place(nl: &Netlist, geom: &Geometry) -> Result<Placement, PlaceError> {
+    let ncells = nl.cells.len();
+    let fanout = nl.fanout();
+
+    // Identify LUT→FF pairs: the FF's D is the LUT's only sink and the LUT
+    // output is not a port. Dynamic LUTs stay lone (their WE pin shares the
+    // slice SR input with the FF).
+    let mut is_output_net = vec![false; nl.num_nets()];
+    for p in &nl.outputs {
+        is_output_net[p.0 as usize] = true;
+    }
+    let mut lut_by_out = std::collections::HashMap::new();
+    for (ci, cell) in nl.cells.iter().enumerate() {
+        if let Cell::Lut(l) = cell {
+            if !l.mode.is_dynamic() {
+                lut_by_out.insert(l.out, ci);
+            }
+        }
+    }
+    let mut partner = vec![None; ncells];
+    for (ci, cell) in nl.cells.iter().enumerate() {
+        if let Cell::Ff(ff) = cell {
+            if let Some(&li) = lut_by_out.get(&ff.d) {
+                if fanout[ff.d.0 as usize] == 1
+                    && !is_output_net[ff.d.0 as usize]
+                    && partner[li].is_none()
+                {
+                    partner[li] = Some(ci);
+                    partner[ci] = Some(li);
+                }
+            }
+        }
+    }
+
+    // Count slots: pairs take one, lone LUTs/FFs one each.
+    let pairs = partner.iter().filter(|p| p.is_some()).count() / 2;
+    let luts = nl.lut_count();
+    let ffs = nl.ff_count();
+    let slots_needed = luts + ffs - pairs;
+    let slots_available = geom.num_slices() * LUTS_PER_SLICE;
+    if slots_needed > slots_available {
+        return Err(PlaceError::TooBig {
+            needed: slots_needed,
+            available: slots_available,
+        });
+    }
+    let brams_needed = nl.bram_count();
+    if brams_needed > geom.num_bram_blocks() {
+        return Err(PlaceError::TooManyBrams {
+            needed: brams_needed,
+            available: geom.num_bram_blocks(),
+        });
+    }
+
+    // Column-major slot enumeration.
+    let mut slot_iter = (0..geom.cols).flat_map(move |col| {
+        (0..geom.rows).flat_map(move |row| {
+            (0..SLICES_PER_TILE).flat_map(move |slice| {
+                (0..LUTS_PER_SLICE).map(move |idx| Slot {
+                    tile: Tile::new(row, col),
+                    slice: slice as u8,
+                    idx: idx as u8,
+                })
+            })
+        })
+    });
+
+    let mut sites = vec![
+        CellSite::Bram { col: 0, block: 0 };
+        ncells
+    ];
+    let mut used_slices = std::collections::HashSet::new();
+    let mut used_tiles = std::collections::HashSet::new();
+    let mut next_bram = 0usize;
+    let blocks_per_col = geom.bram_blocks_per_col().max(1);
+
+    for ci in 0..ncells {
+        match &nl.cells[ci] {
+            Cell::Bram(_) => {
+                let col = next_bram / blocks_per_col;
+                let block = next_bram % blocks_per_col;
+                next_bram += 1;
+                sites[ci] = CellSite::Bram {
+                    col: col as u16,
+                    block: block as u16,
+                };
+            }
+            Cell::Ff(_) if partner[ci].is_some() => {
+                // Placed when its LUT partner is visited (LUT index is
+                // always lower? Not guaranteed — handle both orders.)
+                continue;
+            }
+            Cell::Lut(_) if partner[ci].is_some() => {
+                let slot = slot_iter.next().expect("slot budget checked above");
+                used_slices.insert((slot.tile, slot.slice));
+                used_tiles.insert(slot.tile);
+                sites[ci] = CellSite::Slot { slot, paired: true };
+                sites[partner[ci].unwrap()] = CellSite::Slot { slot, paired: true };
+            }
+            _ => {
+                let slot = slot_iter.next().expect("slot budget checked above");
+                used_slices.insert((slot.tile, slot.slice));
+                used_tiles.insert(slot.tile);
+                sites[ci] = CellSite::Slot {
+                    slot,
+                    paired: false,
+                };
+            }
+        }
+    }
+
+    Ok(Placement {
+        sites,
+        partner,
+        slices_used: used_slices.len(),
+        tiles_used: used_tiles.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::NetlistBuilder;
+
+    #[test]
+    fn pairs_share_slots() {
+        let mut b = NetlistBuilder::new("p");
+        let a = b.input();
+        let x = b.not(a); // feeds only the FF → pairs
+        let q = b.ff(x, false);
+        b.output(q);
+        let nl = b.finish();
+        let p = place(&nl, &Geometry::tiny()).unwrap();
+        let CellSite::Slot { slot: s0, paired: p0 } = p.sites[0] else {
+            panic!()
+        };
+        let CellSite::Slot { slot: s1, paired: p1 } = p.sites[1] else {
+            panic!()
+        };
+        assert_eq!(s0, s1);
+        assert!(p0 && p1);
+        assert_eq!(p.slices_used, 1);
+    }
+
+    #[test]
+    fn shared_lut_does_not_pair() {
+        let mut b = NetlistBuilder::new("np");
+        let a = b.input();
+        let x = b.not(a);
+        let q = b.ff(x, false);
+        b.output(q);
+        b.output(x); // LUT output also a port → no pairing
+        let nl = b.finish();
+        let p = place(&nl, &Geometry::tiny()).unwrap();
+        let CellSite::Slot { slot: s0, .. } = p.sites[0] else { panic!() };
+        let CellSite::Slot { slot: s1, .. } = p.sites[1] else { panic!() };
+        assert_ne!(s0, s1);
+    }
+
+    #[test]
+    fn oversized_design_rejected() {
+        let g = Geometry::tiny(); // 8×8×2 slices × 2 = 256 slots
+        let mut b = NetlistBuilder::new("big");
+        let a = b.input();
+        let mut n = a;
+        for _ in 0..300 {
+            n = b.not(n);
+        }
+        b.output(n);
+        let nl = b.finish();
+        assert!(matches!(
+            place(&nl, &g),
+            Err(PlaceError::TooBig { .. })
+        ));
+    }
+
+    #[test]
+    fn slots_never_collide() {
+        let mut b = NetlistBuilder::new("many");
+        let a = b.input();
+        let mut nets = vec![a];
+        for i in 0..40 {
+            let prev = nets[i];
+            let x = b.not(prev);
+            let q = b.ff(x, false); // pairs
+            let lone = b.buf(q); // lone LUT (q has fanout > 1 via output)
+            nets.push(lone);
+        }
+        let last = *nets.last().unwrap();
+        b.output(last);
+        let nl = b.finish();
+        let p = place(&nl, &Geometry::tiny()).unwrap();
+        let mut seen = std::collections::HashSet::new();
+        for (ci, site) in p.sites.iter().enumerate() {
+            if let CellSite::Slot { slot, paired } = site {
+                if !paired {
+                    assert!(seen.insert(*slot), "slot reused by lone cell {ci}");
+                }
+            }
+        }
+    }
+}

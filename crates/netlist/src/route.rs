@@ -1,0 +1,379 @@
+//! Routing: allocate single-length wires and emit wire/mux configuration.
+//!
+//! Greedy dimension-ordered routing over the tile grid. Wires already
+//! carrying the same net are reused, so fan-out trees share trunks the way
+//! real routed designs do. Every hop writes real configuration bits
+//! (output-mux or PIP entries), so the routed design's *sensitive
+//! cross-section* includes its routing — the dominant contributor in the
+//! paper's Table I.
+
+use cibola_arch::bits::{
+    self, encode_wire, input_mux_offset, outmux_offset, pip_offset, MuxPin,
+};
+use cibola_arch::frames::IobEntry;
+use cibola_arch::geometry::{Dir, Geometry, Tile, OUTMUX_WIRES_PER_DIR, WIRES_PER_DIR, WIRES_PER_TILE};
+use cibola_arch::{ConfigMemory, Edge};
+
+use crate::ir::NetId;
+use crate::place::Slot;
+
+/// Where a routed net's value originates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Source {
+    /// A slice output (already exposed through out-sel).
+    SliceOut { tile: Tile, slice: u8, out: u8 },
+    /// An input port entering on a west-edge wire.
+    WestEdge { row: u16, wire: u8 },
+    /// A BRAM data-out bit, available at the block's home tile.
+    BramOut { home: Tile, bit: u8 },
+}
+
+/// Where a routed net must arrive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Sink {
+    /// A slice input multiplexer.
+    SlicePin { slot: Slot, pin: MuxPin },
+    /// A BRAM interface multiplexer (`field_off` within the interface
+    /// frame; `home` is the block's home tile).
+    BramPin {
+        col: u16,
+        block: u16,
+        home: Tile,
+        field_off: u16,
+    },
+    /// An output port: drive any outgoing east wire of the edge tile in
+    /// `row`, then bind it to `port` in the IOB frame.
+    EastEdge { row: u16, port: u8 },
+}
+
+/// Routing failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RouteError {
+    /// No free wire in any useful direction.
+    Congestion { net: NetId, tile: Tile },
+    /// Walk exceeded the hop budget (should not happen on a sane grid).
+    HopBudget { net: NetId },
+    /// All east-edge wires of the port's row are taken.
+    EdgeFull { row: u16 },
+}
+
+impl std::fmt::Display for RouteError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RouteError::Congestion { net, tile } => {
+                write!(f, "net {} congested at {:?}", net.0, tile)
+            }
+            RouteError::HopBudget { net } => write!(f, "net {} exceeded hop budget", net.0),
+            RouteError::EdgeFull { row } => write!(f, "east edge row {row} has no free wires"),
+        }
+    }
+}
+
+impl std::error::Error for RouteError {}
+
+/// Position of the signal during a route walk.
+#[derive(Debug, Clone, Copy)]
+enum Presence {
+    /// At the source site itself (not yet on a wire).
+    AtSource(Source),
+    /// On the incoming wire (`dir`, `idx`) of the current tile.
+    In(Dir, u8),
+}
+
+/// The router: wire occupancy plus configuration emission.
+pub struct Router<'a> {
+    geom: Geometry,
+    cm: &'a mut ConfigMemory,
+    /// Occupancy: net id + 1, or 0 if free; indexed tile × 96 + flat wire.
+    occ: Vec<u32>,
+    /// Total wire hops allocated (for the report).
+    pub hops: usize,
+}
+
+impl<'a> Router<'a> {
+    pub fn new(geom: &Geometry, cm: &'a mut ConfigMemory) -> Self {
+        Router {
+            geom: geom.clone(),
+            occ: vec![0; geom.num_tiles() * WIRES_PER_TILE],
+            cm,
+            hops: 0,
+        }
+    }
+
+    #[inline]
+    fn occ_idx(&self, tile: Tile, flat: usize) -> usize {
+        self.geom.tile_index(tile) * WIRES_PER_TILE + flat
+    }
+
+    /// Find a usable outgoing wire at `tile` in `dir`: one this net already
+    /// drives (reuse) or a free one. `need_outmux` restricts to
+    /// output-multiplexer wires. Returns (index, reused).
+    fn find_wire(&self, tile: Tile, dir: Dir, net: NetId, need_outmux: bool) -> Option<(usize, bool)> {
+        let limit = if need_outmux {
+            OUTMUX_WIRES_PER_DIR
+        } else {
+            WIRES_PER_DIR
+        };
+        let base = dir as usize * WIRES_PER_DIR;
+        // Prefer reuse.
+        for w in 0..limit {
+            if self.occ[self.occ_idx(tile, base + w)] == net.0 + 1 {
+                return Some((w, true));
+            }
+        }
+        // Pass-through hops prefer high (non-outmux) indices, leaving
+        // outmux wires for sources.
+        let order: Vec<usize> = if need_outmux {
+            (0..limit).collect()
+        } else {
+            (0..WIRES_PER_DIR).rev().collect()
+        };
+        for w in order {
+            if self.occ[self.occ_idx(tile, base + w)] == 0 {
+                return Some((w, false));
+            }
+        }
+        None
+    }
+
+    /// Drive outgoing wire (`dir`, `w`) of `tile` from the current
+    /// presence, writing the configuration if the wire is new.
+    fn drive_wire(
+        &mut self,
+        tile: Tile,
+        dir: Dir,
+        w: usize,
+        reused: bool,
+        presence: Presence,
+        net: NetId,
+    ) {
+        let flat = dir as usize * WIRES_PER_DIR + w;
+        if reused {
+            return;
+        }
+        let idx = self.occ_idx(tile, flat);
+        debug_assert_eq!(self.occ[idx], 0);
+        self.occ[idx] = net.0 + 1;
+        self.hops += 1;
+        match presence {
+            Presence::AtSource(Source::SliceOut { slice, out, .. }) => {
+                debug_assert!(w < OUTMUX_WIRES_PER_DIR);
+                let sel = (slice * 2 + out) as u64;
+                self.cm
+                    .write_tile_field(tile, outmux_offset(dir, w), 4, 1 | (sel << 1));
+            }
+            Presence::AtSource(Source::BramOut { bit, .. }) => {
+                let sel = 96 + bit as u64;
+                self.cm
+                    .write_tile_field(tile, pip_offset(flat), 8, 1 | (sel << 1));
+            }
+            Presence::AtSource(Source::WestEdge { .. }) => {
+                unreachable!("west-edge presence is converted to In() at walk start")
+            }
+            Presence::In(d, idx_in) => {
+                let sel = encode_wire(d, idx_in as usize) as u64;
+                self.cm
+                    .write_tile_field(tile, pip_offset(flat), 8, 1 | (sel << 1));
+            }
+        }
+    }
+
+    /// Route `net` from `source` to `sink` along a BFS shortest path over
+    /// tiles with free (or same-net reusable) wires.
+    pub fn route(&mut self, net: NetId, source: Source, sink: Sink) -> Result<(), RouteError> {
+        let (start, start_presence) = match source {
+            Source::SliceOut { tile, .. } => (tile, Presence::AtSource(source)),
+            Source::BramOut { home, .. } => (home, Presence::AtSource(source)),
+            Source::WestEdge { row, wire } => (
+                Tile::new(row as usize, 0),
+                Presence::In(Dir::West, wire),
+            ),
+        };
+        let (target, want_arrival) = match sink {
+            Sink::SlicePin { slot, .. } => (slot.tile, Arrival::Incoming),
+            Sink::BramPin { home, .. } => (home, Arrival::Incoming),
+            Sink::EastEdge { row, .. } => (
+                Tile::new(row as usize, self.geom.cols - 1),
+                Arrival::DriveEast,
+            ),
+        };
+
+        // Same-tile combinational sink with the value only at the source
+        // site: hop out and back through a neighbour.
+        if start == target
+            && want_arrival == Arrival::Incoming
+            && matches!(start_presence, Presence::AtSource(_))
+        {
+            for d in [Dir::East, Dir::West, Dir::South, Dir::North] {
+                if self.geom.neighbor(start, d).is_none() {
+                    continue;
+                }
+                if let Ok((t2, p2)) = self.hop(start, d, start_presence, net) {
+                    let (_, p3) = self.hop(t2, d.opposite(), p2, net)?;
+                    let Presence::In(dd, idx) = p3 else { unreachable!() };
+                    self.connect_sink(sink, dd, idx);
+                    return Ok(());
+                }
+            }
+            return Err(RouteError::Congestion { net, tile: start });
+        }
+
+        // BFS over tiles. Expansion from the start respects the source's
+        // first-hop constraint (a slice output must leave via its output
+        // multiplexer).
+        let path = self.bfs_path(net, start, start_presence, target)?;
+
+        // Commit: walk the path, laying wires.
+        let mut tile = start;
+        let mut presence = start_presence;
+        for &d in &path {
+            let (t2, p2) = self.hop(tile, d, presence, net)?;
+            tile = t2;
+            presence = p2;
+        }
+        debug_assert_eq!(tile, target);
+
+        match want_arrival {
+            Arrival::Incoming => {
+                let Presence::In(d, idx) = presence else {
+                    unreachable!("non-empty path always arrives on a wire")
+                };
+                self.connect_sink(sink, d, idx);
+            }
+            Arrival::DriveEast => {
+                let Sink::EastEdge { row, port } = sink else {
+                    unreachable!()
+                };
+                let need_outmux =
+                    matches!(presence, Presence::AtSource(Source::SliceOut { .. }));
+                let Some((w, reused)) = self.find_wire(tile, Dir::East, net, need_outmux) else {
+                    return Err(RouteError::EdgeFull { row });
+                };
+                self.drive_wire(tile, Dir::East, w, reused, presence, net);
+                self.cm.write_iob(
+                    Edge::East,
+                    row as usize,
+                    w,
+                    IobEntry {
+                        enabled: true,
+                        port,
+                        invert: false,
+                    },
+                );
+            }
+        }
+        Ok(())
+    }
+
+    /// BFS from `start` to `target`; returns the direction sequence.
+    fn bfs_path(
+        &self,
+        net: NetId,
+        start: Tile,
+        start_presence: Presence,
+        target: Tile,
+    ) -> Result<Vec<Dir>, RouteError> {
+        let n = self.geom.num_tiles();
+        let start_idx = self.geom.tile_index(start);
+        if start == target {
+            return Ok(Vec::new());
+        }
+        let mut parent: Vec<Option<(u32, Dir)>> = vec![None; n];
+        let mut seen = vec![false; n];
+        seen[start_idx] = true;
+        let mut queue = std::collections::VecDeque::new();
+        queue.push_back(start_idx);
+        let first_hop_needs_outmux =
+            matches!(start_presence, Presence::AtSource(Source::SliceOut { .. }));
+
+        while let Some(ti) = queue.pop_front() {
+            let tile = self.geom.tile_at(ti);
+            let at_start = ti == start_idx;
+            for d in Dir::ALL {
+                let Some(nb) = self.geom.neighbor(tile, d) else {
+                    continue;
+                };
+                let nb_idx = self.geom.tile_index(nb);
+                if seen[nb_idx] {
+                    continue;
+                }
+                let need_outmux = at_start && first_hop_needs_outmux;
+                if self.find_wire(tile, d, net, need_outmux).is_none() {
+                    continue;
+                }
+                seen[nb_idx] = true;
+                parent[nb_idx] = Some((ti as u32, d));
+                if nb == target {
+                    // Reconstruct.
+                    let mut path = Vec::new();
+                    let mut cur = nb_idx;
+                    while cur != start_idx {
+                        let (p, d) = parent[cur].expect("parent chain");
+                        path.push(d);
+                        cur = p as usize;
+                    }
+                    path.reverse();
+                    return Ok(path);
+                }
+                queue.push_back(nb_idx);
+            }
+        }
+        Err(RouteError::Congestion { net, tile: start })
+    }
+
+    /// One hop in direction `d`.
+    fn hop(
+        &mut self,
+        tile: Tile,
+        d: Dir,
+        presence: Presence,
+        net: NetId,
+    ) -> Result<(Tile, Presence), RouteError> {
+        let nb = self
+            .geom
+            .neighbor(tile, d)
+            .ok_or(RouteError::Congestion { net, tile })?;
+        let need_outmux = matches!(presence, Presence::AtSource(Source::SliceOut { .. }));
+        let (w, reused) = self
+            .find_wire(tile, d, net, need_outmux)
+            .ok_or(RouteError::Congestion { net, tile })?;
+        self.drive_wire(tile, d, w, reused, presence, net);
+        Ok((nb, Presence::In(d.opposite(), w as u8)))
+    }
+
+    /// Bind the sink's input multiplexer to the arriving wire.
+    fn connect_sink(&mut self, sink: Sink, d: Dir, idx: u8) {
+        let sel = encode_wire(d, idx as usize) as u64;
+        match sink {
+            Sink::SlicePin { slot, pin } => {
+                self.cm.write_tile_field(
+                    slot.tile,
+                    input_mux_offset(slot.slice as usize, pin),
+                    bits::MUX_FIELD_BITS,
+                    sel,
+                );
+            }
+            Sink::BramPin {
+                col,
+                block,
+                field_off,
+                ..
+            } => {
+                self.cm.write_bram_if_field(
+                    col as usize,
+                    block as usize,
+                    field_off as usize,
+                    bits::MUX_FIELD_BITS,
+                    sel,
+                );
+            }
+            Sink::EastEdge { .. } => unreachable!("east-edge sinks terminate in route()"),
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Arrival {
+    Incoming,
+    DriveEast,
+}

@@ -1,0 +1,72 @@
+//! Cross-validation: device execution vs the netlist reference interpreter.
+//!
+//! Running the same stimulus through the placed-and-routed bitstream on the
+//! device model and through [`NetlistSim`] checks the whole pipeline —
+//! builder, placer, router, bitstream generator, configuration-memory
+//! compiler and execution engine — in one assertion.
+
+use cibola_arch::{Device, Geometry};
+
+use crate::flow::{implement, FlowError, Implementation};
+use crate::ir::Netlist;
+use crate::sim::{NetlistSim, Stimulus};
+
+/// Outcome of [`verify_on_device`].
+#[derive(Debug)]
+pub enum VerifyError {
+    Flow(FlowError),
+    Mismatch {
+        cycle: usize,
+        device: Vec<bool>,
+        reference: Vec<bool>,
+    },
+}
+
+impl std::fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VerifyError::Flow(e) => write!(f, "flow failed: {e}"),
+            VerifyError::Mismatch {
+                cycle,
+                device,
+                reference,
+            } => write!(
+                f,
+                "device/reference mismatch at cycle {cycle}: dev={device:?} ref={reference:?}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// Implement `nl` on `geom`, run `cycles` of pseudo-random stimulus on both
+/// the device and the reference interpreter, and require identical outputs
+/// every cycle. Returns the implementation for further use.
+pub fn verify_on_device(
+    nl: &Netlist,
+    geom: &Geometry,
+    cycles: usize,
+    seed: u64,
+) -> Result<Implementation, VerifyError> {
+    let imp = implement(nl, geom).map_err(VerifyError::Flow)?;
+    let mut dev = Device::new(geom.clone());
+    dev.configure_full(&imp.bitstream);
+    let mut reference = NetlistSim::new(nl);
+    let mut stim = Stimulus::new(seed, nl.inputs.len());
+    for cycle in 0..cycles {
+        let iv = stim.next_vector();
+        let d = dev.step(&iv);
+        let mut r = reference.step(&iv);
+        // The device reports max-bound-port outputs; pad the reference.
+        r.resize(d.len(), false);
+        if d != r {
+            return Err(VerifyError::Mismatch {
+                cycle,
+                device: d,
+                reference: r,
+            });
+        }
+    }
+    Ok(imp)
+}

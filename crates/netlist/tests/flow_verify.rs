@@ -1,0 +1,150 @@
+//! Whole-pipeline validation: builder → place → route → bitgen →
+//! configuration-memory compile → cycle-accurate execution, checked
+//! against the netlist reference interpreter under pseudo-random stimulus.
+
+use cibola_arch::Geometry;
+use cibola_netlist::gen;
+use cibola_netlist::verify::verify_on_device;
+use cibola_netlist::NetlistBuilder;
+
+#[test]
+fn xor_tree_verifies() {
+    let mut b = NetlistBuilder::new("xor-tree");
+    let ins = b.inputs(8);
+    let mut layer = ins;
+    while layer.len() > 1 {
+        layer = layer.chunks(2).map(|c| b.xor2(c[0], c[1])).collect();
+    }
+    let out = layer[0];
+    b.output(out);
+    let nl = b.finish();
+    verify_on_device(&nl, &Geometry::tiny(), 200, 1).unwrap();
+}
+
+#[test]
+fn registered_pipeline_verifies() {
+    let mut b = NetlistBuilder::new("pipe");
+    let ins = b.inputs(4);
+    let mut bus = ins;
+    for _ in 0..6 {
+        bus = b.register(&bus);
+    }
+    b.outputs(&bus);
+    let nl = b.finish();
+    verify_on_device(&nl, &Geometry::tiny(), 200, 2).unwrap();
+}
+
+#[test]
+fn adder_verifies() {
+    let mut b = NetlistBuilder::new("add8");
+    let x = b.inputs(8);
+    let y = b.inputs(8);
+    let s = b.adder(&x, &y);
+    b.outputs(&s);
+    let nl = b.finish();
+    verify_on_device(&nl, &Geometry::tiny(), 300, 3).unwrap();
+}
+
+#[test]
+fn lfsr_cluster_verifies() {
+    let nl = gen::lfsr_cluster_with(2, 8, 6);
+    verify_on_device(&nl, &Geometry::tiny(), 300, 4).unwrap();
+}
+
+#[test]
+fn paper_size_lfsr_cluster_verifies_on_small_device() {
+    let nl = gen::lfsr_cluster(2); // two clusters of six 20-bit LFSRs
+    verify_on_device(&nl, &Geometry::small(), 300, 5).unwrap();
+}
+
+#[test]
+fn multiplier_verifies() {
+    let nl = gen::pipelined_multiplier(5);
+    verify_on_device(&nl, &Geometry::tiny(), 300, 6).unwrap();
+}
+
+#[test]
+fn vector_multiplier_verifies() {
+    let nl = gen::vector_multiplier(6);
+    verify_on_device(&nl, &Geometry::small(), 300, 7).unwrap();
+}
+
+#[test]
+fn mult_add_tree_verifies() {
+    let nl = gen::mult_add_tree(8);
+    verify_on_device(&nl, &Geometry::small(), 300, 8).unwrap();
+}
+
+#[test]
+fn counter_adder_verifies() {
+    let nl = gen::counter_adder(8);
+    verify_on_device(&nl, &Geometry::tiny(), 300, 9).unwrap();
+}
+
+#[test]
+fn filter_preproc_verifies() {
+    let nl = gen::filter_preproc(4, 4);
+    verify_on_device(&nl, &Geometry::small(), 300, 10).unwrap();
+}
+
+#[test]
+fn lfsr_multiplier_verifies() {
+    let nl = gen::lfsr_multiplier(4);
+    verify_on_device(&nl, &Geometry::small(), 300, 11).unwrap();
+}
+
+#[test]
+fn srl16_design_verifies() {
+    // Exercises dynamic-LUT (SRL16) mapping: a serial delay line.
+    let mut b = NetlistBuilder::new("srl-delay");
+    let x = b.input();
+    let one = b.const_net(true);
+    let tap = b.srl16(&[one, one], x, cibola_netlist::Ctrl::One, 0);
+    let q = b.ff(tap, false);
+    b.output(q);
+    let nl = b.finish();
+    verify_on_device(&nl, &Geometry::tiny(), 200, 12).unwrap();
+}
+
+#[test]
+fn bram_design_verifies() {
+    // A BRAM lookup table addressed by a counter: contents = address
+    // pattern (the BIST BRAM-test shape from §II-B).
+    let mut b = NetlistBuilder::new("bram-rom");
+    let init: Vec<u16> = (0..256).map(|a| (a as u16) * 0x0101).collect();
+    let ctr = {
+        let d: Vec<_> = (0..4).map(|_| b.forward()).collect();
+        let q: Vec<_> = d.iter().map(|&dn| b.ff_from_forward(dn, false)).collect();
+        b.lut_into(d[0], &[q[0]], |x| x & 1 == 0);
+        let mut carry = q[0];
+        for i in 1..4 {
+            b.lut_into(d[i], &[q[i], carry], |x| ((x & 1) ^ ((x >> 1) & 1)) == 1);
+            if i + 1 < 4 {
+                carry = b.and2(q[i], carry);
+            }
+        }
+        q
+    };
+    let dout = b.bram(
+        &ctr,
+        &[],
+        cibola_netlist::Ctrl::Zero,
+        cibola_netlist::Ctrl::One,
+        init,
+    );
+    b.outputs(&dout[..8]);
+    let nl = b.finish();
+    verify_on_device(&nl, &Geometry::tiny(), 200, 13).unwrap();
+}
+
+#[test]
+fn report_counts_are_consistent() {
+    let nl = gen::pipelined_multiplier(4);
+    let imp = verify_on_device(&nl, &Geometry::tiny(), 50, 14).unwrap();
+    let r = &imp.report;
+    assert_eq!(r.luts, nl.lut_count());
+    assert_eq!(r.ffs, nl.ff_count());
+    assert!(r.slices_used > 0 && r.slices_used <= r.slice_total);
+    assert!(r.route_hops >= r.nets - nl.inputs.len());
+    assert!(r.const_ctrl_pins >= nl.ff_count(), "every FF has CE+SR constants");
+}

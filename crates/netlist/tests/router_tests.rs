@@ -1,0 +1,116 @@
+//! Router and flow negative/boundary tests: port limits, congestion
+//! reporting, determinism, and fan-out trunk sharing.
+
+use cibola_arch::Geometry;
+use cibola_netlist::{implement, FlowError, NetlistBuilder};
+
+#[test]
+fn too_many_ports_is_reported() {
+    let geom = Geometry::tiny(); // 8 rows × 24 wires = 192 edge bindings
+    let mut b = NetlistBuilder::new("ports");
+    let ins = b.inputs(200);
+    let o = b.xor2(ins[0], ins[1]);
+    b.output(o);
+    let nl = b.finish();
+    assert!(matches!(
+        implement(&nl, &geom),
+        Err(FlowError::TooManyPorts { kind: "input", .. })
+    ));
+}
+
+#[test]
+fn implementation_is_deterministic() {
+    let geom = Geometry::tiny();
+    let nl = cibola_netlist::gen::counter_adder(6);
+    let a = implement(&nl, &geom).unwrap();
+    let b = implement(&nl, &geom).unwrap();
+    assert!(
+        a.bitstream.diff(&b.bitstream).is_empty(),
+        "same netlist must produce an identical bitstream"
+    );
+    assert_eq!(a.report, b.report);
+}
+
+#[test]
+fn high_fanout_nets_share_trunks() {
+    // One source fanned out to many sinks across the device: the router's
+    // same-net wire reuse must keep the hop count near-linear in distance,
+    // far below sinks × distance.
+    let geom = Geometry::small();
+    let mut b = NetlistBuilder::new("fanout");
+    let x = b.input();
+    let src = b.buf(x);
+    let mut outs = Vec::new();
+    for _ in 0..64 {
+        outs.push(b.not(src));
+    }
+    let folded = outs
+        .chunks(2)
+        .map(|c| if c.len() == 2 { (c[0], Some(c[1])) } else { (c[0], None) })
+        .fold(None::<cibola_netlist::NetId>, |acc, (p, q)| {
+            let v = match (acc, q) {
+                (None, Some(qq)) => b.xor2(p, qq),
+                (None, None) => p,
+                (Some(a), Some(qq)) => {
+                    let t = b.xor2(p, qq);
+                    b.xor2(a, t)
+                }
+                (Some(a), None) => b.xor2(a, p),
+            };
+            Some(v)
+        })
+        .unwrap();
+    b.output(folded);
+    let nl = b.finish();
+    let imp = implement(&nl, &geom).unwrap();
+    // 64 sinks of `src` plus tree wiring. Without trunk sharing this
+    // design would need thousands of hops; with it, a few hundred.
+    assert!(
+        imp.report.route_hops < 1200,
+        "hops {} suggests no trunk sharing",
+        imp.report.route_hops
+    );
+}
+
+#[test]
+fn dense_design_fills_most_of_the_device_and_still_routes() {
+    let geom = Geometry::tiny(); // 256 slots
+    // A shift chain that occupies ≈85% of all slots.
+    let mut b = NetlistBuilder::new("dense");
+    let x = b.input();
+    let mut n = x;
+    for _ in 0..210 {
+        n = b.ff(n, false);
+    }
+    b.output(n);
+    let nl = b.finish();
+    let imp = implement(&nl, &geom).unwrap();
+    assert!(imp.report.slices_used as f64 / imp.report.slice_total as f64 > 0.8);
+    // And it must still verify functionally.
+    cibola_netlist::verify::verify_on_device(&nl, &geom, 250, 3).unwrap();
+}
+
+#[test]
+fn route_hops_scale_with_manhattan_distance() {
+    // A single source-to-sink route across the whole device should use
+    // about (cols + rows) hops, not wander.
+    let geom = Geometry::small();
+    let mut b = NetlistBuilder::new("span");
+    let x = b.input();
+    // Long chain pushes the sink far from column 0 in placement order.
+    let mut n = b.buf(x);
+    for _ in 0..700 {
+        n = b.buf(n);
+    }
+    b.output(n);
+    let nl = b.finish();
+    let imp = implement(&nl, &geom).unwrap();
+    let cells = nl.cells.len();
+    // Each of the ~700 nearest-neighbour connections should cost only a
+    // couple of hops on average.
+    let hops_per_net = imp.report.route_hops as f64 / cells as f64;
+    assert!(
+        hops_per_net < 6.0,
+        "average {hops_per_net:.1} hops per net — BFS should find short paths"
+    );
+}

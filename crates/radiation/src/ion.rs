@@ -1,0 +1,132 @@
+//! Heavy-ion response model (paper §I).
+//!
+//! "Heavy ion testing has shown that Xilinx Virtex XQVR300 SRAM-based
+//! FPGAs are single-event-latchup immune up to a linear energy transfer
+//! (LET) of 125 MeV-cm²/mg, but are sensitive to single-event upsets at
+//! an average threshold LET of 1.2 MeV-cm²/mg with an average saturation
+//! cross-section of 8.0×10⁻⁸ cm²."
+//!
+//! The standard fit for σ(LET) is a four-parameter Weibull; this module
+//! provides it with the paper's threshold and saturation values as
+//! defaults, plus the on-orbit rate integral over a simple LET spectrum.
+
+/// Weibull cross-section curve σ(LET).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WeibullCrossSection {
+    /// Threshold LET L₀ (MeV·cm²/mg) below which no upsets occur.
+    pub threshold: f64,
+    /// Saturation cross-section σ_sat (cm²).
+    pub saturation_cm2: f64,
+    /// Width parameter W (MeV·cm²/mg).
+    pub width: f64,
+    /// Shape parameter s (dimensionless).
+    pub shape: f64,
+}
+
+impl Default for WeibullCrossSection {
+    /// The paper's measured XQVR values: threshold 1.2 MeV·cm²/mg,
+    /// saturation 8.0×10⁻⁸ cm². Width/shape use typical Virtex fits.
+    fn default() -> Self {
+        WeibullCrossSection {
+            threshold: 1.2,
+            saturation_cm2: 8.0e-8,
+            width: 20.0,
+            shape: 1.5,
+        }
+    }
+}
+
+impl WeibullCrossSection {
+    /// Cross-section at a given LET.
+    pub fn sigma(&self, let_mev_cm2_mg: f64) -> f64 {
+        if let_mev_cm2_mg <= self.threshold {
+            return 0.0;
+        }
+        let x = (let_mev_cm2_mg - self.threshold) / self.width;
+        self.saturation_cm2 * (1.0 - (-x.powf(self.shape)).exp())
+    }
+
+    /// LET at which the device reaches `fraction` of saturation.
+    pub fn let_at_fraction(&self, fraction: f64) -> f64 {
+        assert!((0.0..1.0).contains(&fraction));
+        // Invert 1 - exp(-x^s) = f.
+        let x = (-(1.0 - fraction).ln()).powf(1.0 / self.shape);
+        self.threshold + x * self.width
+    }
+
+    /// Upset rate (per second) for a flux spectrum given as
+    /// (LET, differential flux in particles/cm²/s per LET bin) samples —
+    /// a simple rectangle-rule integral of σ(L)·φ(L).
+    pub fn rate_for_spectrum(&self, spectrum: &[(f64, f64)]) -> f64 {
+        spectrum
+            .iter()
+            .map(|&(let_val, flux)| self.sigma(let_val) * flux)
+            .sum()
+    }
+}
+
+/// Single-event-latchup check (paper: SEL-immune to 125 MeV·cm²/mg on
+/// the epitaxial XQVR parts).
+pub const SEL_IMMUNITY_LET: f64 = 125.0;
+
+/// True if a strike at `let_mev_cm2_mg` could latch up a non-epitaxial
+/// part but not the radiation-tolerant XQVR.
+pub fn xqvr_latchup_immune(let_mev_cm2_mg: f64) -> bool {
+    let_mev_cm2_mg <= SEL_IMMUNITY_LET
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn below_threshold_no_upsets() {
+        let w = WeibullCrossSection::default();
+        assert_eq!(w.sigma(0.5), 0.0);
+        assert_eq!(w.sigma(1.2), 0.0);
+        assert!(w.sigma(1.3) > 0.0);
+    }
+
+    #[test]
+    fn sigma_is_monotone_and_saturates() {
+        let w = WeibullCrossSection::default();
+        let mut prev = 0.0;
+        for let_val in [2.0, 5.0, 10.0, 20.0, 40.0, 80.0, 160.0] {
+            let s = w.sigma(let_val);
+            assert!(s >= prev, "σ must be monotone in LET");
+            assert!(s <= w.saturation_cm2 * 1.0000001);
+            prev = s;
+        }
+        assert!(
+            w.sigma(200.0) > 0.99 * w.saturation_cm2,
+            "saturates at high LET"
+        );
+    }
+
+    #[test]
+    fn fraction_inversion_roundtrips() {
+        let w = WeibullCrossSection::default();
+        for f in [0.1, 0.5, 0.9] {
+            let l = w.let_at_fraction(f);
+            let back = w.sigma(l) / w.saturation_cm2;
+            assert!((back - f).abs() < 1e-9, "f {f} → LET {l} → {back}");
+        }
+    }
+
+    #[test]
+    fn spectrum_rate_integral() {
+        let w = WeibullCrossSection::default();
+        // A toy two-bin spectrum: plenty below threshold (contributes 0),
+        // a little above.
+        let rate = w.rate_for_spectrum(&[(0.8, 1e3), (30.0, 1e-2)]);
+        assert!(rate > 0.0);
+        assert_eq!(w.rate_for_spectrum(&[(0.8, 1e3)]), 0.0);
+    }
+
+    #[test]
+    fn latchup_immunity_boundary() {
+        assert!(xqvr_latchup_immune(100.0));
+        assert!(xqvr_latchup_immune(125.0));
+        assert!(!xqvr_latchup_immune(126.0));
+    }
+}

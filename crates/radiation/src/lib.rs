@@ -1,0 +1,59 @@
+//! # cibola-radiation — upset environments
+//!
+//! Two radiation sources drive the paper's experiments:
+//!
+//! * the **LEO orbit environment** ([`orbit`]) — the paper's nine-FPGA
+//!   system expects 1.2 upsets/hour in quiet conditions and 9.6/hour
+//!   during solar flares (§I), derived from the XQVR's measured per-bit
+//!   proton cross-section;
+//! * the **proton beam** at the Crocker Nuclear Laboratory cyclotron
+//!   ([`beam`]) — flux servoed so ≈1 configuration upset lands per 0.5 s
+//!   observation interval (§III-B).
+//!
+//! Both are Poisson processes over a [`target`] model that splits strikes
+//! between configuration bits (the part a bitstream-corruption simulator
+//! can predict) and hidden state — half-latches, user flip-flops, the
+//! configuration state machine — which it cannot. That split is the
+//! structural origin of the paper's 97.6 % (not 100 %) simulator-vs-beam
+//! agreement.
+
+pub mod beam;
+pub mod ion;
+pub mod orbit;
+pub mod target;
+
+pub use beam::{BeamConfig, ProtonBeam};
+pub use ion::{xqvr_latchup_immune, WeibullCrossSection, SEL_IMMUNITY_LET};
+pub use orbit::{OrbitCondition, OrbitEnvironment, OrbitRates};
+pub use target::{TargetMix, UpsetTarget};
+
+/// Seconds per hour, for rate conversions.
+pub const SECS_PER_HOUR: f64 = 3600.0;
+
+/// Exponential inter-arrival sample for a Poisson process with `rate`
+/// events per second. Returns `f64` seconds.
+pub(crate) fn exp_interarrival(rate_per_s: f64, rng: &mut impl rand::Rng) -> f64 {
+    assert!(rate_per_s > 0.0, "rate must be positive");
+    let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+    -u.ln() / rate_per_s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn exponential_mean_matches_rate() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let rate = 4.0;
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| exp_interarrival(rate, &mut rng)).sum::<f64>() / n as f64;
+        assert!(
+            (mean - 1.0 / rate).abs() < 0.01,
+            "mean interarrival {mean} vs expected {}",
+            1.0 / rate
+        );
+    }
+}

@@ -1,0 +1,175 @@
+//! The LEO orbit environment (paper §I).
+//!
+//! "In a Low Earth Orbit, the nine-FPGA system we have built can be
+//! expected to experience radiation-induced upsets 1.2 times/hour in low
+//! radiation zones and 9.6 times/hour when there are solar flares."
+
+use cibola_arch::SimDuration;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use crate::{exp_interarrival, SECS_PER_HOUR};
+
+/// Radiation weather.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OrbitCondition {
+    /// Low-radiation zone.
+    Quiet,
+    /// Solar-flare conditions.
+    SolarFlare,
+}
+
+/// System-level upset rates (whole payload, upsets per hour).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OrbitRates {
+    pub quiet_per_hour: f64,
+    pub flare_per_hour: f64,
+    /// Devices sharing the rate (the paper's system has nine).
+    pub devices: usize,
+}
+
+impl Default for OrbitRates {
+    fn default() -> Self {
+        OrbitRates {
+            quiet_per_hour: 1.2,
+            flare_per_hour: 9.6,
+            devices: 9,
+        }
+    }
+}
+
+impl OrbitRates {
+    /// Per-device upset rate in the given condition, per hour.
+    pub fn per_device_per_hour(&self, cond: OrbitCondition) -> f64 {
+        let sys = match cond {
+            OrbitCondition::Quiet => self.quiet_per_hour,
+            OrbitCondition::SolarFlare => self.flare_per_hour,
+        };
+        sys / self.devices as f64
+    }
+
+    /// Derive the system rate from first principles: per-bit cross-section
+    /// (cm²/bit), bits per device, and particle flux (particles/cm²/s) —
+    /// the calculation behind the paper's quoted numbers (average
+    /// saturation cross-section 8.0×10⁻⁸ cm²).
+    pub fn from_physics(
+        sigma_bit_cm2: f64,
+        bits_per_device: usize,
+        flux_per_cm2_s: f64,
+        devices: usize,
+    ) -> f64 {
+        sigma_bit_cm2 * bits_per_device as f64 * flux_per_cm2_s * devices as f64 * SECS_PER_HOUR
+    }
+
+    /// Inverse of [`OrbitRates::from_physics`]: the flux implied by an
+    /// observed system upset rate.
+    pub fn implied_flux(
+        rate_per_hour: f64,
+        sigma_bit_cm2: f64,
+        bits_per_device: usize,
+        devices: usize,
+    ) -> f64 {
+        rate_per_hour
+            / (sigma_bit_cm2 * bits_per_device as f64 * devices as f64 * SECS_PER_HOUR)
+    }
+}
+
+/// A Poisson upset process over the payload, switchable between quiet and
+/// flare conditions.
+#[derive(Debug, Clone)]
+pub struct OrbitEnvironment {
+    pub rates: OrbitRates,
+    pub condition: OrbitCondition,
+    rng: SmallRng,
+}
+
+impl OrbitEnvironment {
+    pub fn new(rates: OrbitRates, seed: u64) -> Self {
+        OrbitEnvironment {
+            rates,
+            condition: OrbitCondition::Quiet,
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    pub fn set_condition(&mut self, c: OrbitCondition) {
+        self.condition = c;
+    }
+
+    /// Time until the next upset somewhere in the payload.
+    pub fn next_upset_in(&mut self) -> SimDuration {
+        let rate_s = match self.condition {
+            OrbitCondition::Quiet => self.rates.quiet_per_hour,
+            OrbitCondition::SolarFlare => self.rates.flare_per_hour,
+        } / SECS_PER_HOUR;
+        SimDuration::from_secs_f64(exp_interarrival(rate_s, &mut self.rng))
+    }
+
+    /// Which of the payload's devices the upset strikes (uniform).
+    pub fn pick_device(&mut self) -> usize {
+        use rand::Rng;
+        self.rng.gen_range(0..self.rates.devices)
+    }
+
+    /// Borrow the RNG for target sampling.
+    pub fn rng(&mut self) -> &mut SmallRng {
+        &mut self.rng
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_rates_match_paper() {
+        let r = OrbitRates::default();
+        assert_eq!(r.quiet_per_hour, 1.2);
+        assert_eq!(r.flare_per_hour, 9.6);
+        assert_eq!(r.devices, 9);
+        assert!((r.per_device_per_hour(OrbitCondition::Quiet) - 0.1333).abs() < 1e-3);
+    }
+
+    #[test]
+    fn physics_roundtrip() {
+        let sigma = 8.0e-8 / 5.8e6; // per-bit share of the device σ
+        let bits = 5_800_000;
+        let flux = OrbitRates::implied_flux(1.2, sigma, bits, 9);
+        let rate = OrbitRates::from_physics(sigma, bits, flux, 9);
+        assert!((rate - 1.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn flare_events_arrive_8x_faster_on_average() {
+        let mut env = OrbitEnvironment::new(OrbitRates::default(), 11);
+        let n = 5000;
+        let quiet_mean: f64 = (0..n)
+            .map(|_| env.next_upset_in().as_secs_f64())
+            .sum::<f64>()
+            / n as f64;
+        env.set_condition(OrbitCondition::SolarFlare);
+        let flare_mean: f64 = (0..n)
+            .map(|_| env.next_upset_in().as_secs_f64())
+            .sum::<f64>()
+            / n as f64;
+        let ratio = quiet_mean / flare_mean;
+        assert!(
+            (ratio - 8.0).abs() < 0.6,
+            "quiet/flare interarrival ratio {ratio}, expected ≈8"
+        );
+        // Quiet mean interarrival ≈ 3000 s (1.2/hour).
+        assert!((quiet_mean - 3000.0).abs() < 150.0, "quiet mean {quiet_mean}");
+    }
+
+    #[test]
+    fn device_pick_is_roughly_uniform() {
+        let mut env = OrbitEnvironment::new(OrbitRates::default(), 3);
+        let mut counts = [0usize; 9];
+        for _ in 0..9000 {
+            counts[env.pick_device()] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            assert!(c > 800 && c < 1200, "device {i} picked {c}/9000");
+        }
+    }
+}

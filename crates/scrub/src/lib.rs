@@ -1,0 +1,35 @@
+//! # cibola-scrub — on-orbit fault detection and correction (paper §II)
+//!
+//! The flight side of the paper: an Actel-class fault manager per board
+//! continuously reads back the configuration of three Virtex FPGAs,
+//! CRC-checks every frame against a codebook, interrupts the RAD6000 on
+//! mismatch, fetches the golden frame from ECC-protected FLASH, partially
+//! reconfigures the device *while the design keeps running*, and resets.
+//! The cadence reproduces the paper's numbers: a full scan of three
+//! XQVR1000-class devices every ≈180 ms.
+//!
+//! * [`crc`] — the frame CRC (CRC-32).
+//! * [`ecc`] — Hamming SECDED (72,64) protecting FLASH.
+//! * [`flash`] — the 16 MB configuration store + 1 MB EEPROM.
+//! * [`manager`] — codebook, scan, repair; masked frames for LUT-RAM/BRAM.
+//! * [`payload`] — the 3-board × 3-FPGA SEM-E assembly with SOH logging.
+//! * [`mission`] — the payload in the LEO upset environment.
+
+pub mod crc;
+pub mod ecc;
+pub mod flash;
+pub mod manager;
+pub mod mission;
+pub mod payload;
+pub mod uplink;
+
+pub use crc::{crc32, Crc32};
+pub use ecc::{decode as ecc_decode, encode as ecc_encode, CodeWord, EccOutcome};
+pub use flash::{Eeprom, EccStats, Flash, FlashError};
+pub use manager::{
+    dynamic_bits_for, masked_frames_for, CorruptFrame, CrcCodebook, DynamicBitMask, FaultManager,
+    ScanReport,
+};
+pub use mission::{run_mission, MissionConfig, MissionStats};
+pub use payload::{Payload, ScrubOutcome, SohEvent, SohRecord, BOARDS, FPGAS_PER_BOARD};
+pub use uplink::GroundLink;

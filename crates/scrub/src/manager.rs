@@ -1,0 +1,309 @@
+//! The Actel-class configuration fault manager (paper §II-A, Figs. 3–4).
+//!
+//! A radiation-hardened anti-fuse controller "scans each Xilinx FPGA for
+//! SEU faults by continuously reading the FPGAs' configuration bitstreams
+//! and calculating a CRC for each frame… compared with a codebook of
+//! stored CRCs". On mismatch the microprocessor is interrupted with the
+//! device and frame, fetches the golden frame from FLASH, partially
+//! reconfigures, and resets the system. Frames holding run-time-written
+//! state (LUT-RAM contents, BRAM data) are masked out, per §II-C.
+
+use std::collections::HashSet;
+
+use cibola_arch::bits::{lut_mode_offset, lut_table_offset, LutMode};
+use cibola_arch::{Bitstream, BlockType, Device, FrameAddr, ReadbackOptions, SimDuration, Tile};
+
+use crate::crc::crc32;
+
+/// Per-frame golden CRCs, with a mask for frames the scrubber must skip.
+#[derive(Debug, Clone)]
+pub struct CrcCodebook {
+    crcs: Vec<u32>,
+    masked: Vec<bool>,
+}
+
+impl CrcCodebook {
+    /// Build a codebook from a golden image, masking `masked_frames`
+    /// (dense frame indices).
+    pub fn new(golden: &Bitstream, masked_frames: &HashSet<usize>) -> Self {
+        let crcs: Vec<u32> = golden
+            .frame_addrs()
+            .map(|a| crc32(&golden.read_frame(a)))
+            .collect();
+        let masked = (0..crcs.len()).map(|i| masked_frames.contains(&i)).collect();
+        CrcCodebook { crcs, masked }
+    }
+
+    pub fn frame_count(&self) -> usize {
+        self.crcs.len()
+    }
+
+    pub fn masked_count(&self) -> usize {
+        self.masked.iter().filter(|&&m| m).count()
+    }
+
+    pub fn is_masked(&self, frame_index: usize) -> bool {
+        self.masked[frame_index]
+    }
+
+    pub fn crc(&self, frame_index: usize) -> u32 {
+        self.crcs[frame_index]
+    }
+}
+
+/// Frames that must be masked for a design: CLB frames holding the truth
+/// tables of LUTs used as RAM/SRL16, and every BRAM content frame when the
+/// design uses BRAM (paper §II-C: these cannot be reliably read back while
+/// the design runs, and their contents legitimately change).
+pub fn masked_frames_for(golden: &Bitstream) -> HashSet<usize> {
+    let geom = golden.geometry().clone();
+    let mut masked = HashSet::new();
+    let mut any_bram_port_enabled = false;
+
+    for col in 0..geom.cols {
+        for row in 0..geom.rows {
+            let tile = Tile::new(row, col);
+            for slice in 0..2 {
+                for lut in 0..2 {
+                    let mode = LutMode::from_bits(golden.read_tile_field(
+                        tile,
+                        lut_mode_offset(slice, lut),
+                        2,
+                    ));
+                    if mode.is_dynamic() {
+                        let t0 = lut_table_offset(slice, lut, 0);
+                        for bit in 0..16 {
+                            let global = golden.tile_bit_index(tile, t0 + bit);
+                            let (addr, _) = golden.locate(global);
+                            masked.insert(golden.frame_index(addr));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // BRAM interface frames tell us which blocks are live.
+    for bc in 0..geom.bram_cols {
+        for block in 0..geom.bram_blocks_per_col() {
+            let en = golden.read_bram_if_field(bc, block, cibola_arch::frames::BRAM_IF_EN_OFF, 8);
+            if en != 0 {
+                any_bram_port_enabled = true;
+                for sub in 0..cibola_arch::frames::BRAM_CONTENT_SUBFRAMES {
+                    masked.insert(golden.frame_index(FrameAddr {
+                        block: BlockType::BramContent,
+                        major: bc as u32,
+                        minor: (block * cibola_arch::frames::BRAM_CONTENT_SUBFRAMES + sub) as u32,
+                    }));
+                }
+            }
+        }
+    }
+    let _ = any_bram_port_enabled;
+    masked
+}
+
+/// One scan finding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CorruptFrame {
+    pub frame_index: usize,
+    pub addr: FrameAddr,
+}
+
+/// Result of one device scan.
+#[derive(Debug, Clone)]
+pub struct ScanReport {
+    pub corrupt: Vec<CorruptFrame>,
+    /// Fraction of scanned frames that mismatched. Near-total corruption
+    /// means the device is unprogrammed (configuration-FSM upset) and
+    /// needs full reconfiguration.
+    pub mismatch_fraction: f64,
+    pub frames_scanned: usize,
+    pub duration: SimDuration,
+}
+
+impl ScanReport {
+    /// Heuristic the flight software uses to escalate to a full
+    /// reconfiguration.
+    pub fn looks_unprogrammed(&self) -> bool {
+        self.mismatch_fraction > 0.25
+    }
+}
+
+/// The fault manager: codebook + scan timing model.
+#[derive(Debug, Clone)]
+pub struct FaultManager {
+    pub codebook: CrcCodebook,
+    /// Per-frame processing overhead in the Actel (CRC pipeline, address
+    /// generation). The default reproduces the paper's 180 ms cycle for
+    /// three XQVR1000-class devices.
+    pub frame_overhead: SimDuration,
+}
+
+impl FaultManager {
+    pub fn new(codebook: CrcCodebook) -> Self {
+        FaultManager {
+            codebook,
+            frame_overhead: SimDuration::from_micros(5),
+        }
+    }
+
+    /// Scan every unmasked frame of `dev`, comparing CRCs against the
+    /// codebook. Readback happens while the design runs — no interruption
+    /// of service.
+    pub fn scan(&self, dev: &mut Device) -> ScanReport {
+        let addrs: Vec<FrameAddr> = dev.config().frame_addrs().collect();
+        let mut corrupt = Vec::new();
+        let mut duration = SimDuration::ZERO;
+        let mut scanned = 0usize;
+        for (fi, addr) in addrs.into_iter().enumerate() {
+            if self.codebook.is_masked(fi) {
+                continue;
+            }
+            let (data, d) = dev.readback_frame(addr, ReadbackOptions::default());
+            duration += d + self.frame_overhead;
+            scanned += 1;
+            if crc32(&data) != self.codebook.crc(fi) {
+                corrupt.push(CorruptFrame {
+                    frame_index: fi,
+                    addr,
+                });
+            }
+        }
+        ScanReport {
+            mismatch_fraction: corrupt.len() as f64 / scanned.max(1) as f64,
+            frames_scanned: scanned,
+            corrupt,
+            duration,
+        }
+    }
+
+    /// Scan cost without performing readback (used by mission simulation
+    /// for known-clean devices — readback of a clean device is a no-op by
+    /// construction, but the time still passes).
+    pub fn scan_cost(&self, dev: &Device) -> SimDuration {
+        let mut duration = SimDuration::ZERO;
+        for (fi, addr) in dev.config().frame_addrs().enumerate() {
+            if self.codebook.is_masked(fi) {
+                continue;
+            }
+            let bytes = dev.config().frame_bytes(addr.block) as u64;
+            duration += SimDuration::from_nanos(
+                dev.port_timing.op_overhead_ns + bytes * dev.port_timing.ns_per_byte,
+            ) + self.frame_overhead;
+        }
+        duration
+    }
+
+    /// Repair a frame with golden bytes (fetched from FLASH by the
+    /// microprocessor) and reset the design, per Fig. 4.
+    pub fn repair(&self, dev: &mut Device, addr: FrameAddr, golden: &[u8]) -> SimDuration {
+        let d = dev.partial_configure_frame(addr, golden);
+        dev.reset();
+        d
+    }
+}
+
+/// Bit-level mask of *live* (run-time-written) positions per frame:
+/// truth-table bits of dynamic LUTs and BRAM content bits. Used by
+/// read-modify-write scrubbing (paper §IV-B) so repairs do not clobber
+/// live data.
+#[derive(Debug, Clone, Default)]
+pub struct DynamicBitMask {
+    /// frame index → offsets (within the frame) that are live.
+    by_frame: std::collections::HashMap<usize, Vec<usize>>,
+}
+
+impl DynamicBitMask {
+    /// Live positions within `frame_index` (empty if none).
+    pub fn live_offsets(&self, frame_index: usize) -> &[usize] {
+        self.by_frame
+            .get(&frame_index)
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
+    }
+
+    pub fn frames_with_live_bits(&self) -> usize {
+        self.by_frame.len()
+    }
+}
+
+/// Compute the dynamic-bit mask for a design image.
+pub fn dynamic_bits_for(golden: &Bitstream) -> DynamicBitMask {
+    let geom = golden.geometry().clone();
+    let mut mask = DynamicBitMask::default();
+    for col in 0..geom.cols {
+        for row in 0..geom.rows {
+            let tile = Tile::new(row, col);
+            for slice in 0..2 {
+                for lut in 0..2 {
+                    let mode = LutMode::from_bits(golden.read_tile_field(
+                        tile,
+                        lut_mode_offset(slice, lut),
+                        2,
+                    ));
+                    if !mode.is_dynamic() {
+                        continue;
+                    }
+                    for bit in 0..16 {
+                        let global =
+                            golden.tile_bit_index(tile, lut_table_offset(slice, lut, 0) + bit);
+                        let (addr, off) = golden.locate(global);
+                        mask.by_frame
+                            .entry(golden.frame_index(addr))
+                            .or_default()
+                            .push(off);
+                    }
+                }
+            }
+        }
+    }
+    // Every BRAM content bit of enabled blocks is live.
+    for bc in 0..geom.bram_cols {
+        for block in 0..geom.bram_blocks_per_col() {
+            let en =
+                golden.read_bram_if_field(bc, block, cibola_arch::frames::BRAM_IF_EN_OFF, 8);
+            if en == 0 {
+                continue;
+            }
+            for bit in 0..cibola_arch::geometry::BRAM_BITS {
+                let global = golden.bram_content_index(bc, block, bit);
+                let (addr, off) = golden.locate(global);
+                mask.by_frame
+                    .entry(golden.frame_index(addr))
+                    .or_default()
+                    .push(off);
+            }
+        }
+    }
+    mask
+}
+
+impl FaultManager {
+    /// Read-modify-write repair (paper §IV-B): read the frame back, keep
+    /// the *live* bit positions as they are (dynamic LUT contents, BRAM
+    /// data), restore every static position from golden, and write the
+    /// merged frame. This is what lets scrubbing coexist with LUT-RAM and
+    /// BRAM designs instead of masking their frames out entirely.
+    ///
+    /// The caller must stop the clock around the operation (the paper's
+    /// "big assumption… that the RMW operation can be done before the
+    /// contents of the RAM or shift register change").
+    pub fn repair_rmw(
+        &self,
+        dev: &mut Device,
+        frame_index: usize,
+        addr: FrameAddr,
+        golden: &[u8],
+        mask: &DynamicBitMask,
+    ) -> SimDuration {
+        let (current, read_cost) = dev.readback_frame(addr, ReadbackOptions::default());
+        let mut merged = golden.to_vec();
+        for &off in mask.live_offsets(frame_index) {
+            let (byte, bit) = (off / 8, off % 8);
+            let live = (current[byte] >> bit) & 1;
+            merged[byte] = (merged[byte] & !(1 << bit)) | (live << bit);
+        }
+        read_cost + dev.partial_configure_frame(addr, &merged)
+    }
+}

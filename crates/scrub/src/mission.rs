@@ -1,0 +1,303 @@
+//! Mission simulation: the payload flying through the LEO upset
+//! environment with continuous scrubbing (paper §I–II).
+//!
+//! Upsets arrive as a Poisson process (1.2/h quiet, 9.6/h flare for the
+//! nine-FPGA system), strike random targets, and are hunted by the
+//! per-board fault managers on their ≈180 ms scan cadence. The simulator
+//! tracks detection latency, repair counts, the upsets scrubbing *cannot*
+//! see (masked frames, half-latches, user state), and availability —
+//! the fraction of device-time free of outstanding behaviour-changing
+//! faults, judged against per-design sensitivity maps from the SEU
+//! simulator.
+
+use std::collections::{HashMap, HashSet};
+
+use cibola_arch::{SimDuration, SimTime};
+use cibola_radiation::target::{apply_upset, UpsetTarget};
+use cibola_radiation::{OrbitCondition, OrbitEnvironment, OrbitRates, TargetMix};
+use serde::Serialize;
+
+use crate::payload::Payload;
+
+/// Mission parameters.
+#[derive(Debug, Clone)]
+pub struct MissionConfig {
+    pub duration: SimDuration,
+    pub rates: OrbitRates,
+    pub mix: TargetMix,
+    /// Optional solar-flare window.
+    pub flare: Option<(SimTime, SimTime)>,
+    /// Periodically reload every device from FLASH (full reconfiguration
+    /// with the start-up sequence) — the only mechanism that heals
+    /// half-latch upsets (paper §III-C). `None` disables refresh.
+    pub periodic_full_reconfig: Option<SimDuration>,
+    pub seed: u64,
+}
+
+impl Default for MissionConfig {
+    fn default() -> Self {
+        MissionConfig {
+            duration: SimDuration::from_secs(24 * 3600),
+            rates: OrbitRates::default(),
+            mix: TargetMix::default(),
+            flare: None,
+            periodic_full_reconfig: None,
+            seed: 0xC1B0_1A,
+        }
+    }
+}
+
+/// Aggregate mission statistics.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct MissionStats {
+    pub upsets_total: usize,
+    pub upsets_config: usize,
+    pub upsets_config_masked: usize,
+    pub upsets_half_latch: usize,
+    pub upsets_user_ff: usize,
+    pub upsets_fsm: usize,
+    /// Bitstream upsets found by CRC scanning.
+    pub detected: usize,
+    pub frames_repaired: usize,
+    pub full_reconfigs: usize,
+    /// Upsets that struck sensitive configuration bits (per the provided
+    /// sensitivity maps).
+    pub sensitive_upsets: usize,
+    pub detect_latency_mean_ms: f64,
+    pub detect_latency_max_ms: f64,
+    pub scrub_cycles: usize,
+    /// Mean scan-cycle duration across boards (the paper's ≈180 ms).
+    pub scan_cycle_ms: f64,
+    /// Device-time with an outstanding behaviour-changing fault.
+    pub unavailable_ms: f64,
+    /// 1 − unavailable/(duration × devices).
+    pub availability: f64,
+    /// Half-latch upsets still outstanding at mission end (scrubbing
+    /// cannot repair them).
+    pub outstanding_half_latches: usize,
+    pub soh_records: usize,
+    pub elapsed_s: f64,
+}
+
+/// An outstanding fault on one device.
+#[derive(Debug, Clone, Copy)]
+struct Outstanding {
+    at: SimTime,
+    sensitive: bool,
+    /// Scrubbing can repair it (unmasked bitstream upset or FSM upset).
+    repairable: bool,
+}
+
+/// Run a mission. `sensitivity` maps (board, fpga) to that design's
+/// sensitive-bit set from an SEU-simulator campaign; positions without a
+/// map treat every unmasked configuration upset as potentially sensitive
+/// (conservative).
+pub fn run_mission(
+    payload: &mut Payload,
+    cfg: &MissionConfig,
+    sensitivity: &HashMap<(usize, usize), HashSet<usize>>,
+) -> MissionStats {
+    let positions = payload.positions();
+    let ndev = positions.len();
+    assert!(ndev > 0, "payload has no loaded designs");
+
+    let rates = OrbitRates {
+        devices: ndev,
+        ..cfg.rates
+    };
+    let mut env = OrbitEnvironment::new(rates, cfg.seed);
+
+    let mut stats = MissionStats::default();
+    let mut now = SimTime::ZERO;
+    let end = SimTime::ZERO + cfg.duration;
+    let mut next_upset = now + env.next_upset_in();
+
+    let mut outstanding: Vec<Vec<Outstanding>> = vec![Vec::new(); ndev];
+    let mut dirty: Vec<bool> = vec![false; ndev];
+    let mut latencies: Vec<SimDuration> = Vec::new();
+    let mut unavailable = SimDuration::ZERO;
+    let mut last_refresh: Vec<SimTime> = vec![SimTime::ZERO; ndev];
+
+    // Pre-compute board cycle durations for reporting.
+    let cycles: Vec<SimDuration> = (0..payload.boards.len())
+        .map(|b| payload.board_scan_cycle(b))
+        .collect();
+    let live_boards: Vec<usize> = (0..payload.boards.len())
+        .filter(|&b| !payload.boards[b].fpgas.is_empty())
+        .collect();
+    stats.scan_cycle_ms = live_boards
+        .iter()
+        .map(|&b| cycles[b].as_millis_f64())
+        .sum::<f64>()
+        / live_boards.len().max(1) as f64;
+
+    let round = live_boards
+        .iter()
+        .map(|&b| cycles[b])
+        .max()
+        .unwrap_or(SimDuration::from_millis(180));
+
+    while now < end {
+        let round_end = now + round;
+
+        // Land upsets arriving within this scan round.
+        while next_upset < round_end {
+            // Flare window switches the arrival-rate regime.
+            let in_flare = cfg
+                .flare
+                .map(|(a, b)| next_upset >= a && next_upset < b)
+                .unwrap_or(false);
+            env.set_condition(if in_flare {
+                OrbitCondition::SolarFlare
+            } else {
+                OrbitCondition::Quiet
+            });
+
+            let di = env.pick_device();
+            let (b, f) = positions[di];
+            stats.upsets_total += 1;
+            let target = {
+                let dev = &mut payload.fpga_mut(b, f).device;
+                cfg.mix.sample(dev, env.rng())
+            };
+            let (sensitive, repairable) = match target {
+                UpsetTarget::ConfigBit(bit) => {
+                    stats.upsets_config += 1;
+                    let (addr, _) = payload.fpga(b, f).golden.locate(bit);
+                    let fidx = payload.fpga(b, f).golden.frame_index(addr);
+                    let masked = payload.fpga(b, f).manager.codebook.is_masked(fidx);
+                    if masked {
+                        stats.upsets_config_masked += 1;
+                    }
+                    let sens = sensitivity
+                        .get(&(b, f))
+                        .map(|m| m.contains(&bit))
+                        .unwrap_or(true);
+                    if sens {
+                        stats.sensitive_upsets += 1;
+                    }
+                    (sens, !masked)
+                }
+                UpsetTarget::HalfLatch(_) => {
+                    stats.upsets_half_latch += 1;
+                    (true, false)
+                }
+                UpsetTarget::UserFf { .. } => {
+                    stats.upsets_user_ff += 1;
+                    // Transient user-state flip: flushed by the next reset;
+                    // not a bitstream fault.
+                    (false, false)
+                }
+                UpsetTarget::ConfigFsm => {
+                    stats.upsets_fsm += 1;
+                    (true, true)
+                }
+            };
+            {
+                let dev = &mut payload.fpga_mut(b, f).device;
+                apply_upset(dev, target);
+            }
+            outstanding[di].push(Outstanding {
+                at: next_upset,
+                sensitive,
+                repairable,
+            });
+            dirty[di] = true;
+            next_upset = next_upset + env.next_upset_in();
+        }
+
+        // Scrub every board (they run concurrently; the round already
+        // spans the longest board).
+        for &b in &live_boards {
+            let nf = payload.boards[b].fpgas.len();
+            let d: Vec<bool> = (0..nf)
+                .map(|f| {
+                    let di = positions.iter().position(|&p| p == (b, f)).unwrap();
+                    dirty[di]
+                })
+                .collect();
+            let out = payload.scrub_board(b, now, &d);
+            stats.frames_repaired += out.frames_repaired;
+            stats.detected += out.frames_repaired;
+            stats.full_reconfigs += out.full_reconfigs;
+            for f in out.devices_cleaned {
+                let di = positions.iter().position(|&p| p == (b, f)).unwrap();
+                // Repairable outstanding faults are resolved; their
+                // unavailability window closes at round_end.
+                let mut rest = Vec::new();
+                for o in outstanding[di].drain(..) {
+                    if o.repairable {
+                        latencies.push(round_end.since(o.at));
+                        if o.sensitive {
+                            unavailable += round_end.since(o.at);
+                        }
+                    } else {
+                        rest.push(o);
+                    }
+                }
+                outstanding[di] = rest;
+                // User-state upsets were flushed by the reset too.
+                dirty[di] = outstanding[di].iter().any(|o| o.repairable);
+            }
+        }
+        // Devices that were dirty only with unrepairable faults stay
+        // flagged clean for scanning purposes (scan finds nothing).
+        for di in 0..ndev {
+            if dirty[di] && !outstanding[di].iter().any(|o| o.repairable) {
+                dirty[di] = false;
+            }
+        }
+
+        // Periodic full reconfiguration: heals everything, including
+        // half-latches and other hidden state.
+        if let Some(period) = cfg.periodic_full_reconfig {
+            for (di, &(b, f)) in positions.iter().enumerate() {
+                if round_end.since(last_refresh[di]) >= period {
+                    payload.full_reconfig(b, f, round_end);
+                    stats.full_reconfigs += 1;
+                    last_refresh[di] = round_end;
+                    for o in outstanding[di].drain(..) {
+                        if o.sensitive {
+                            unavailable += round_end.since(o.at);
+                        }
+                    }
+                    dirty[di] = false;
+                }
+            }
+        }
+
+        stats.scrub_cycles += 1;
+        now = round_end;
+    }
+
+    // Close out mission-end exposure for unresolved sensitive faults.
+    for dev_out in &outstanding {
+        for o in dev_out {
+            if o.sensitive {
+                unavailable += end.since(o.at);
+            }
+        }
+    }
+    stats.outstanding_half_latches = positions
+        .iter()
+        .map(|&(b, f)| payload.fpga(b, f).device.upset_half_latch_count())
+        .sum();
+
+    if !latencies.is_empty() {
+        stats.detect_latency_mean_ms = latencies
+            .iter()
+            .map(|d| d.as_millis_f64())
+            .sum::<f64>()
+            / latencies.len() as f64;
+        stats.detect_latency_max_ms = latencies
+            .iter()
+            .map(|d| d.as_millis_f64())
+            .fold(0.0, f64::max);
+    }
+    stats.unavailable_ms = unavailable.as_millis_f64();
+    stats.availability =
+        1.0 - unavailable.as_secs_f64() / (cfg.duration.as_secs_f64() * ndev as f64);
+    stats.elapsed_s = cfg.duration.as_secs_f64();
+    stats.soh_records = payload.soh.len();
+    stats
+}

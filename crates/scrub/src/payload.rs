@@ -1,0 +1,274 @@
+//! The SEM-E payload assembly (paper §II, Figs. 1–3): three RCC boards of
+//! three Virtex FPGAs each, a RAD6000-class supervisor, FLASH/EEPROM
+//! storage, and one Actel-class fault manager per board.
+
+use cibola_arch::{Bitstream, Device, Geometry, SimDuration, SimTime};
+use serde::Serialize;
+
+use crate::flash::{Eeprom, EccStats, Flash};
+use crate::manager::{masked_frames_for, CrcCodebook, FaultManager};
+
+/// Boards in the flight payload.
+pub const BOARDS: usize = 3;
+/// FPGAs per board.
+pub const FPGAS_PER_BOARD: usize = 3;
+
+/// One FPGA with its golden image, flash slot and fault manager codebook.
+#[derive(Debug, Clone)]
+pub struct LoadedFpga {
+    pub name: String,
+    pub device: Device,
+    pub golden: Bitstream,
+    pub flash_slot: usize,
+    pub manager: FaultManager,
+}
+
+/// One RCC board: three FPGAs sharing an Actel controller.
+#[derive(Debug, Clone, Default)]
+pub struct RccBoard {
+    pub fpgas: Vec<LoadedFpga>,
+}
+
+/// A state-of-health event, downlinked to the ground station.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum SohEvent {
+    /// CRC mismatch found at (frame index).
+    FrameCorrupt { frame_index: usize },
+    /// Frame repaired by partial reconfiguration; design reset.
+    FrameRepaired { frame_index: usize },
+    /// Device escalated to full reconfiguration.
+    FullReconfig,
+    /// FLASH ECC corrected bit errors while fetching golden data.
+    FlashCorrected { words: usize },
+}
+
+/// A timestamped SOH record.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct SohRecord {
+    pub time_ns: u64,
+    pub board: usize,
+    pub fpga: usize,
+    pub event: SohEvent,
+}
+
+/// Outcome of scrubbing one board once.
+#[derive(Debug, Clone, Default)]
+pub struct ScrubOutcome {
+    pub duration: SimDuration,
+    pub frames_repaired: usize,
+    pub full_reconfigs: usize,
+    /// Devices that were repaired or reconfigured (their outstanding
+    /// upsets are resolved).
+    pub devices_cleaned: Vec<usize>,
+}
+
+/// The whole payload.
+#[derive(Debug, Clone)]
+pub struct Payload {
+    pub boards: Vec<RccBoard>,
+    pub flash: Flash,
+    pub eeprom: Eeprom,
+    pub soh: Vec<SohRecord>,
+    pub ecc_stats: EccStats,
+}
+
+impl Payload {
+    /// An empty payload with the standard three boards.
+    pub fn new() -> Self {
+        Payload {
+            boards: (0..BOARDS).map(|_| RccBoard::default()).collect(),
+            flash: Flash::default(),
+            eeprom: Eeprom::default(),
+            soh: Vec::new(),
+            ecc_stats: EccStats::default(),
+        }
+    }
+
+    /// Load a design onto board `board`, next free FPGA position: store
+    /// the bitstream in FLASH, build the CRC codebook (masking dynamic
+    /// frames), configure the device. Returns (board, fpga) position.
+    pub fn load_design(
+        &mut self,
+        board: usize,
+        name: &str,
+        geom: &Geometry,
+        bitstream: &Bitstream,
+    ) -> (usize, usize) {
+        assert!(
+            self.boards[board].fpgas.len() < FPGAS_PER_BOARD,
+            "board {board} full"
+        );
+        let slot = self
+            .flash
+            .store(name, bitstream)
+            .expect("flash capacity for configuration");
+        let masked = masked_frames_for(bitstream);
+        let codebook = CrcCodebook::new(bitstream, &masked);
+        let mut device = Device::new(geom.clone());
+        device.configure_full(bitstream);
+        self.boards[board].fpgas.push(LoadedFpga {
+            name: name.to_string(),
+            device,
+            golden: bitstream.clone(),
+            flash_slot: slot,
+            manager: FaultManager::new(codebook),
+        });
+        (board, self.boards[board].fpgas.len() - 1)
+    }
+
+    /// All (board, fpga) positions.
+    pub fn positions(&self) -> Vec<(usize, usize)> {
+        self.boards
+            .iter()
+            .enumerate()
+            .flat_map(|(b, bd)| (0..bd.fpgas.len()).map(move |f| (b, f)))
+            .collect()
+    }
+
+    pub fn fpga(&self, board: usize, fpga: usize) -> &LoadedFpga {
+        &self.boards[board].fpgas[fpga]
+    }
+
+    pub fn fpga_mut(&mut self, board: usize, fpga: usize) -> &mut LoadedFpga {
+        &mut self.boards[board].fpgas[fpga]
+    }
+
+    /// The scan-cycle duration of a board's fault manager — the paper's
+    /// "each configuration is read every 180 ms" for three XQVR1000s.
+    pub fn board_scan_cycle(&self, board: usize) -> SimDuration {
+        self.boards[board]
+            .fpgas
+            .iter()
+            .map(|f| f.manager.scan_cost(&f.device))
+            .sum()
+    }
+
+    /// Scrub one board once at simulated time `now`: scan each FPGA,
+    /// repair corrupt frames from FLASH, escalate to full reconfiguration
+    /// when readback looks unprogrammed. `dirty` hints which FPGAs might
+    /// have bitstream changes — clean devices are charged scan time
+    /// without a simulated readback (their scan provably finds nothing).
+    pub fn scrub_board(&mut self, board: usize, now: SimTime, dirty: &[bool]) -> ScrubOutcome {
+        let mut out = ScrubOutcome::default();
+        for fi in 0..self.boards[board].fpgas.len() {
+            let skip_scan = !dirty.get(fi).copied().unwrap_or(true)
+                && self.boards[board].fpgas[fi].device.is_programmed();
+            if skip_scan {
+                let f = &self.boards[board].fpgas[fi];
+                out.duration += f.manager.scan_cost(&f.device);
+                continue;
+            }
+            let report = {
+                let f = &mut self.boards[board].fpgas[fi];
+                let mgr = f.manager.clone();
+                let r = mgr.scan(&mut f.device);
+                r
+            };
+            out.duration += report.duration;
+
+            if report.looks_unprogrammed() {
+                // Fetch the whole golden image from FLASH and reconfigure.
+                let slot = self.boards[board].fpgas[fi].flash_slot;
+                let golden = self.boards[board].fpgas[fi].golden.clone();
+                let mut stats = EccStats::default();
+                let (image, fetch) = self
+                    .flash
+                    .read_bitstream(slot, &golden, &mut stats)
+                    .expect("golden image readable");
+                self.merge_ecc(board, fi, now, &stats);
+                let f = &mut self.boards[board].fpgas[fi];
+                out.duration += fetch + f.device.configure_full(&image);
+                out.full_reconfigs += 1;
+                out.devices_cleaned.push(fi);
+                self.soh.push(SohRecord {
+                    time_ns: (now + out.duration).as_nanos(),
+                    board,
+                    fpga: fi,
+                    event: SohEvent::FullReconfig,
+                });
+                continue;
+            }
+
+            if report.corrupt.is_empty() {
+                continue;
+            }
+            for cf in &report.corrupt {
+                self.soh.push(SohRecord {
+                    time_ns: (now + out.duration).as_nanos(),
+                    board,
+                    fpga: fi,
+                    event: SohEvent::FrameCorrupt {
+                        frame_index: cf.frame_index,
+                    },
+                });
+                let slot = self.boards[board].fpgas[fi].flash_slot;
+                let mut stats = EccStats::default();
+                let (bytes, fetch) = self
+                    .flash
+                    .read_frame(slot, cf.frame_index, &mut stats)
+                    .expect("golden frame readable");
+                self.merge_ecc(board, fi, now, &stats);
+                let f = &mut self.boards[board].fpgas[fi];
+                out.duration += fetch + f.device.partial_configure_frame(cf.addr, &bytes);
+                out.frames_repaired += 1;
+                self.soh.push(SohRecord {
+                    time_ns: (now + out.duration).as_nanos(),
+                    board,
+                    fpga: fi,
+                    event: SohEvent::FrameRepaired {
+                        frame_index: cf.frame_index,
+                    },
+                });
+            }
+            // "…and then resets the system" (one reset after repairs).
+            self.boards[board].fpgas[fi].device.reset();
+            out.devices_cleaned.push(fi);
+        }
+        out
+    }
+
+    /// Full reconfiguration of one device from its FLASH image: the only
+    /// operation that restores half-latches. Used on escalation and for
+    /// periodic refresh.
+    pub fn full_reconfig(&mut self, board: usize, fpga: usize, now: SimTime) -> SimDuration {
+        let slot = self.boards[board].fpgas[fpga].flash_slot;
+        let golden = self.boards[board].fpgas[fpga].golden.clone();
+        let mut stats = EccStats::default();
+        let (image, fetch) = self
+            .flash
+            .read_bitstream(slot, &golden, &mut stats)
+            .expect("golden image readable");
+        self.merge_ecc(board, fpga, now, &stats);
+        let f = &mut self.boards[board].fpgas[fpga];
+        let d = fetch + f.device.configure_full(&image);
+        self.soh.push(SohRecord {
+            time_ns: (now + d).as_nanos(),
+            board,
+            fpga,
+            event: SohEvent::FullReconfig,
+        });
+        d
+    }
+
+    fn merge_ecc(&mut self, board: usize, fpga: usize, now: SimTime, stats: &EccStats) {
+        self.ecc_stats.words_read += stats.words_read;
+        self.ecc_stats.corrected += stats.corrected;
+        self.ecc_stats.uncorrectable += stats.uncorrectable;
+        if stats.corrected > 0 {
+            self.soh.push(SohRecord {
+                time_ns: now.as_nanos(),
+                board,
+                fpga,
+                event: SohEvent::FlashCorrected {
+                    words: stats.corrected,
+                },
+            });
+        }
+    }
+}
+
+impl Default for Payload {
+    fn default() -> Self {
+        Payload::new()
+    }
+}

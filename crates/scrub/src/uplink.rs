@@ -1,0 +1,114 @@
+//! Ground-station uplink economics (paper §II, §II-B).
+//!
+//! "The interface is used to send commands to the payload, upload
+//! configurations for the FPGAs, query state of health, and retrieve
+//! experimental data" over a 10 Mbit link, and §II-B: "Diagnostic
+//! configurations must be either stored on-board or up-loaded from a
+//! ground station. … A configuration upload requires one pass over a
+//! ground station, during which state of health data must be downlinked
+//! and control parameters uplinked."
+
+use cibola_arch::{Bitstream, SimDuration};
+
+/// The payload ↔ ground link.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GroundLink {
+    /// Link rate in bits per second (paper: 10 Mbit).
+    pub bits_per_second: f64,
+    /// Usable contact time per ground-station pass.
+    pub pass_duration: SimDuration,
+    /// Fixed per-pass overhead: command traffic, state-of-health downlink,
+    /// control parameters.
+    pub per_pass_overhead: SimDuration,
+}
+
+impl Default for GroundLink {
+    fn default() -> Self {
+        GroundLink {
+            bits_per_second: 10e6,
+            // A typical LEO pass: ≈8 minutes of usable contact.
+            pass_duration: SimDuration::from_secs(8 * 60),
+            per_pass_overhead: SimDuration::from_secs(60),
+        }
+    }
+}
+
+impl GroundLink {
+    /// Transfer time for a configuration image (uncompressed, as the
+    /// paper's FLASH stores them).
+    pub fn upload_time(&self, bs: &Bitstream) -> SimDuration {
+        let bytes: usize = bs
+            .frame_addrs()
+            .map(|a| bs.frame_bytes(a.block))
+            .sum();
+        SimDuration::from_secs_f64(bytes as f64 * 8.0 / self.bits_per_second)
+    }
+
+    /// Usable payload seconds per pass.
+    fn usable(&self) -> f64 {
+        self.pass_duration
+            .as_secs_f64()
+            .max(self.per_pass_overhead.as_secs_f64())
+            - self.per_pass_overhead.as_secs_f64()
+    }
+
+    /// Ground passes needed to upload `n` copies of a configuration.
+    pub fn passes_for_uploads(&self, bs: &Bitstream, n: usize) -> usize {
+        let per = self.upload_time(bs).as_secs_f64();
+        let per_pass = (self.usable() / per).floor().max(0.0) as usize;
+        if per_pass == 0 {
+            // One upload spans multiple passes.
+            return (per * n as f64 / self.usable()).ceil() as usize;
+        }
+        n.div_ceil(per_pass)
+    }
+
+    /// The §II-B trade-off: is it cheaper (in passes) to store a
+    /// diagnostic configuration on-board, given `flash_free` bytes, or to
+    /// upload it when needed `uses` times?
+    pub fn prefer_onboard(&self, bs: &Bitstream, flash_free: usize, uses: usize) -> bool {
+        let bytes: usize = bs
+            .frame_addrs()
+            .map(|a| bs.frame_bytes(a.block))
+            .sum();
+        bytes <= flash_free && self.passes_for_uploads(bs, uses) >= 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cibola_arch::{ConfigMemory, Geometry};
+
+    #[test]
+    fn flight_image_uploads_within_one_pass() {
+        // An XQVR1000-class image is ≈1.2 MB here; at 10 Mbit/s that is
+        // ≈1 s of link time — easily one pass, as flown.
+        let bs = ConfigMemory::new(Geometry::xqvr1000());
+        let link = GroundLink::default();
+        let t = link.upload_time(&bs);
+        assert!(t.as_secs_f64() < 2.0, "upload {t}");
+        assert_eq!(link.passes_for_uploads(&bs, 1), 1);
+        // Twenty fresh configurations still fit one pass.
+        assert_eq!(link.passes_for_uploads(&bs, 20), 1);
+    }
+
+    #[test]
+    fn narrowband_link_needs_many_passes() {
+        let bs = ConfigMemory::new(Geometry::xqvr1000());
+        let link = GroundLink {
+            bits_per_second: 9600.0, // legacy TT&C rate
+            ..Default::default()
+        };
+        let passes = link.passes_for_uploads(&bs, 1);
+        assert!(passes > 1, "9600 baud needs {passes} passes");
+    }
+
+    #[test]
+    fn onboard_preferred_when_flash_has_room() {
+        let bs = ConfigMemory::new(Geometry::tiny());
+        let link = GroundLink::default();
+        assert!(link.prefer_onboard(&bs, 16 * 1024 * 1024, 3));
+        assert!(!link.prefer_onboard(&bs, 10, 3), "no flash room");
+    }
+}

@@ -1,0 +1,353 @@
+//! Scrubbing integration tests: detection, repair, escalation, masking,
+//! and the on-orbit mission loop (paper §II, Fig. 4).
+
+use std::collections::{HashMap, HashSet};
+
+use cibola_arch::{Geometry, SimDuration, SimTime};
+use cibola_netlist::{gen, implement};
+use cibola_radiation::{OrbitRates, TargetMix};
+use cibola_scrub::{
+    masked_frames_for, run_mission, CrcCodebook, FaultManager, MissionConfig, Payload, SohEvent,
+};
+
+fn implemented(nl: &cibola_netlist::Netlist, geom: &Geometry) -> cibola_netlist::Implementation {
+    implement(nl, geom).unwrap()
+}
+
+#[test]
+fn scan_detects_and_repair_restores() {
+    let geom = Geometry::tiny();
+    let imp = implemented(&gen::counter_adder(4), &geom);
+    let masked = masked_frames_for(&imp.bitstream);
+    let mgr = FaultManager::new(CrcCodebook::new(&imp.bitstream, &masked));
+    let mut dev = cibola_arch::Device::new(geom.clone());
+    dev.configure_full(&imp.bitstream);
+
+    // Clean device: nothing found.
+    let clean = mgr.scan(&mut dev);
+    assert!(clean.corrupt.is_empty());
+    assert!(clean.duration.as_nanos() > 0);
+
+    // Flip a bit; the scan must name exactly its frame.
+    let mut probe = dev.clone();
+    let victim = probe.active_config_bits()[10];
+    dev.flip_config_bit(victim);
+    let (addr, _) = imp.bitstream.locate(victim);
+    let report = mgr.scan(&mut dev);
+    assert_eq!(report.corrupt.len(), 1);
+    assert_eq!(report.corrupt[0].addr, addr);
+
+    // Repair from golden and verify the image matches again.
+    let golden = imp.bitstream.read_frame(addr);
+    mgr.repair(&mut dev, addr, &golden);
+    assert!(dev.config().diff(&imp.bitstream).is_empty());
+    assert!(mgr.scan(&mut dev).corrupt.is_empty());
+}
+
+#[test]
+fn masked_frames_cover_dynamic_luts_and_bram() {
+    let geom = Geometry::tiny();
+    // A design with an SRL16 and a BRAM.
+    let mut b = cibola_netlist::NetlistBuilder::new("dyn");
+    let x = b.input();
+    let one = b.const_net(true);
+    let tap = b.srl16(&[one], x, cibola_netlist::Ctrl::One, 0);
+    let ctr = [tap, one];
+    let dout = b.bram(
+        &ctr,
+        &[],
+        cibola_netlist::Ctrl::Zero,
+        cibola_netlist::Ctrl::One,
+        (0..256).map(|a| a as u16).collect(),
+    );
+    b.output(dout[0]);
+    let nl = b.finish();
+    let imp = implemented(&nl, &geom);
+    let masked = masked_frames_for(&imp.bitstream);
+    assert!(!masked.is_empty(), "dynamic design must mask frames");
+
+    // The codebook skips them, so a running design that writes its own
+    // memory never trips the scrubber.
+    let mgr = FaultManager::new(CrcCodebook::new(&imp.bitstream, &masked));
+    let mut dev = cibola_arch::Device::new(geom);
+    dev.configure_full(&imp.bitstream);
+    for c in 0..32 {
+        dev.step(&[c % 3 == 0]);
+    }
+    assert!(dev.design_wrote_config(), "SRL16 wrote its table");
+    let report = mgr.scan(&mut dev);
+    assert!(
+        report.corrupt.is_empty(),
+        "legitimate run-time writes must not look like SEUs"
+    );
+}
+
+#[test]
+fn unprogrammed_device_escalates_to_full_reconfig() {
+    let geom = Geometry::tiny();
+    let imp = implemented(&gen::counter_adder(4), &geom);
+    let mut payload = Payload::new();
+    let (b, f) = payload.load_design(0, "ctr", &geom, &imp.bitstream);
+
+    payload.fpga_mut(b, f).device.upset_config_fsm();
+    let out = payload.scrub_board(b, SimTime::ZERO, &[true]);
+    assert_eq!(out.full_reconfigs, 1);
+    assert!(payload.fpga(b, f).device.is_programmed());
+    assert!(payload
+        .soh
+        .iter()
+        .any(|r| matches!(r.event, SohEvent::FullReconfig)));
+}
+
+#[test]
+fn scrub_cycle_near_180ms_for_three_flight_devices() {
+    // Paper §II-A: "each configuration is read every 180 ms" for the three
+    // XQVR1000s of one board.
+    let geom = Geometry::xqvr1000();
+    let blank = cibola_arch::ConfigMemory::new(geom.clone());
+    let mut payload = Payload::new();
+    for _ in 0..3 {
+        payload.load_design(0, "app", &geom, &blank);
+    }
+    let cycle = payload.board_scan_cycle(0);
+    let ms = cycle.as_millis_f64();
+    assert!(
+        (120.0..260.0).contains(&ms),
+        "scan cycle {ms:.1} ms should be of the paper's 180 ms order"
+    );
+}
+
+#[test]
+fn payload_soh_records_detection_and_repair() {
+    let geom = Geometry::tiny();
+    let imp = implemented(&gen::counter_adder(4), &geom);
+    let mut payload = Payload::new();
+    let (b, f) = payload.load_design(0, "ctr", &geom, &imp.bitstream);
+
+    let mut probe = payload.fpga(b, f).device.clone();
+    let victim = probe.active_config_bits()[3];
+    payload.fpga_mut(b, f).device.flip_config_bit(victim);
+
+    let out = payload.scrub_board(b, SimTime::ZERO, &[true]);
+    assert_eq!(out.frames_repaired, 1);
+    let kinds: Vec<_> = payload.soh.iter().map(|r| r.event).collect();
+    assert!(kinds
+        .iter()
+        .any(|e| matches!(e, SohEvent::FrameCorrupt { .. })));
+    assert!(kinds
+        .iter()
+        .any(|e| matches!(e, SohEvent::FrameRepaired { .. })));
+    assert!(payload
+        .fpga(b, f)
+        .device
+        .config()
+        .diff(&imp.bitstream)
+        .is_empty());
+}
+
+#[test]
+fn flash_ecc_protects_golden_frames_during_repair() {
+    let geom = Geometry::tiny();
+    let imp = implemented(&gen::counter_adder(4), &geom);
+    let mut payload = Payload::new();
+    let (b, f) = payload.load_design(0, "ctr", &geom, &imp.bitstream);
+
+    // Upset the FLASH copy and the device.
+    for w in (0..payload.flash.slot_words(0)).step_by(37) {
+        payload.flash.upset_data_bit(0, w, w % 64);
+    }
+    let mut probe = payload.fpga(b, f).device.clone();
+    let victim = probe.active_config_bits()[0];
+    payload.fpga_mut(b, f).device.flip_config_bit(victim);
+
+    payload.scrub_board(b, SimTime::ZERO, &[true]);
+    assert!(
+        payload
+            .fpga(b, f)
+            .device
+            .config()
+            .diff(&imp.bitstream)
+            .is_empty(),
+        "repair used ECC-corrected golden data"
+    );
+    assert!(payload.ecc_stats.corrected > 0);
+}
+
+#[test]
+fn mission_detects_and_repairs_under_flare_load() {
+    let geom = Geometry::tiny();
+    let imp = implemented(&gen::counter_adder(4), &geom);
+    let mut payload = Payload::new();
+    let mut sens: HashMap<(usize, usize), HashSet<usize>> = HashMap::new();
+    for board in 0..3 {
+        for _ in 0..3 {
+            let (bb, ff) = payload.load_design(board, "ctr", &geom, &imp.bitstream);
+            sens.insert((bb, ff), HashSet::new()); // map provided below
+        }
+    }
+    // A modest sensitivity map: first 64 active bits.
+    let mut probe = payload.fpga(0, 0).device.clone();
+    let map: HashSet<usize> = probe.active_config_bits().into_iter().take(64).collect();
+    for v in sens.values_mut() {
+        *v = map.clone();
+    }
+
+    let cfg = MissionConfig {
+        duration: SimDuration::from_secs(2 * 3600),
+        rates: OrbitRates {
+            // Accelerated environment so the test sees plenty of events.
+            quiet_per_hour: 400.0,
+            flare_per_hour: 3200.0,
+            devices: 9,
+        },
+        mix: TargetMix::default(),
+        flare: Some((
+            SimTime::from_secs(1800),
+            SimTime::from_secs(3600),
+        )),
+        // Refresh every 15 minutes so half-latch upsets are bounded, as a
+        // flight operations plan would.
+        periodic_full_reconfig: Some(SimDuration::from_secs(900)),
+        seed: 42,
+    };
+    let stats = run_mission(&mut payload, &cfg, &sens);
+
+    assert!(stats.upsets_total > 200, "upsets {}", stats.upsets_total);
+    assert!(stats.upsets_config > stats.upsets_half_latch * 50);
+    assert!(
+        stats.detected + stats.full_reconfigs > 0,
+        "scrubbing found work"
+    );
+    // Detection latency is bounded by the scan cadence (plus repair time).
+    assert!(stats.detect_latency_mean_ms > 0.0);
+    assert!(
+        stats.detect_latency_max_ms <= 4.0 * stats.scan_cycle_ms.max(1.0) + 50.0,
+        "latency {} vs cycle {}",
+        stats.detect_latency_max_ms,
+        stats.scan_cycle_ms
+    );
+    assert!(stats.availability > 0.95, "availability {}", stats.availability);
+    assert!(stats.soh_records > 0);
+
+    // Every repairable upset was eventually cleaned.
+    for (b, f) in payload.positions() {
+        assert!(payload
+            .fpga(b, f)
+            .device
+            .config()
+            .diff(&imp.bitstream)
+            .is_empty());
+    }
+}
+
+#[test]
+fn mission_availability_degrades_without_scrub_sensitivity_knowledge() {
+    // Without a sensitivity map every config upset counts sensitive —
+    // availability is a conservative lower bound.
+    let geom = Geometry::tiny();
+    let imp = implemented(&gen::counter_adder(4), &geom);
+    let mut payload = Payload::new();
+    payload.load_design(0, "ctr", &geom, &imp.bitstream);
+    let cfg = MissionConfig {
+        duration: SimDuration::from_secs(3600),
+        rates: OrbitRates {
+            quiet_per_hour: 1000.0,
+            flare_per_hour: 1000.0,
+            devices: 1,
+        },
+        mix: TargetMix::config_only(),
+        flare: None,
+        periodic_full_reconfig: None,
+        seed: 7,
+    };
+    let stats = run_mission(&mut payload, &cfg, &HashMap::new());
+    assert!(stats.sensitive_upsets >= stats.upsets_config - stats.upsets_config_masked);
+    assert!(stats.availability < 1.0);
+    assert!(stats.availability > 0.5);
+}
+
+#[test]
+fn rmw_repair_preserves_live_shift_data_while_fixing_static_bits() {
+    // Paper §IV-B: naive frame restoration clobbers run-time LUT/BRAM
+    // contents; a read-modify-write repair fixes the static corruption and
+    // keeps the live bits.
+    use cibola_scrub::dynamic_bits_for;
+
+    let geom = Geometry::tiny();
+    // An SRL16 design: shifting a constant-1 stream, so its truth table is
+    // live state.
+    let mut b = cibola_netlist::NetlistBuilder::new("srl-rmw");
+    let x = b.input();
+    let one = b.const_net(true);
+    let tap = b.srl16(&[one, one], x, cibola_netlist::Ctrl::One, 0);
+    b.output(tap);
+    let nl = b.finish();
+    let imp = implemented(&nl, &geom);
+    let mask = dynamic_bits_for(&imp.bitstream);
+    assert!(mask.frames_with_live_bits() > 0);
+
+    let mut dev = cibola_arch::Device::new(geom.clone());
+    dev.configure_full(&imp.bitstream);
+    for _ in 0..20 {
+        dev.step(&[true]);
+    }
+
+    // Find the frame holding the SRL truth table and a *static* bit in the
+    // same frame to corrupt.
+    let fi = (0..imp.bitstream.frame_count())
+        .find(|&f| !mask.live_offsets(f).is_empty())
+        .unwrap();
+    let addr = imp.bitstream.frame_addr(fi);
+    let live: std::collections::HashSet<usize> =
+        mask.live_offsets(fi).iter().copied().collect();
+    let frame_bits = imp.bitstream.frame_bits(addr.block);
+    let static_off = (0..frame_bits).find(|o| !live.contains(o)).unwrap();
+    let global = imp.bitstream.frame_base(addr) + static_off;
+    dev.flip_config_bit(global);
+
+    // Snapshot the live table contents, then RMW-repair with the clock
+    // stopped (per the paper's assumption).
+    dev.set_clock_running(false);
+    let before_live: Vec<bool> = mask
+        .live_offsets(fi)
+        .iter()
+        .map(|&o| dev.config().get_bit(imp.bitstream.frame_base(addr) + o))
+        .collect();
+    let masked = cibola_scrub::masked_frames_for(&imp.bitstream);
+    let mgr = FaultManager::new(cibola_scrub::CrcCodebook::new(&imp.bitstream, &masked));
+    let golden = imp.bitstream.read_frame(addr);
+    mgr.repair_rmw(&mut dev, fi, addr, &golden, &mask);
+
+    // Static corruption fixed…
+    assert_eq!(
+        dev.config().get_bit(global),
+        imp.bitstream.get_bit(global),
+        "static bit repaired"
+    );
+    // …and the live shift-register contents survived.
+    let after_live: Vec<bool> = mask
+        .live_offsets(fi)
+        .iter()
+        .map(|&o| dev.config().get_bit(imp.bitstream.frame_base(addr) + o))
+        .collect();
+    assert_eq!(before_live, after_live, "live data preserved");
+    assert!(
+        before_live.iter().any(|&v| v),
+        "shift register had accumulated live ones"
+    );
+
+    // Contrast: the naive repair wipes the live data back to init (0).
+    let mut naive = cibola_arch::Device::new(geom);
+    naive.configure_full(&imp.bitstream);
+    for _ in 0..20 {
+        naive.step(&[true]);
+    }
+    naive.set_clock_running(false);
+    naive.partial_configure_frame(addr, &golden);
+    let wiped: Vec<bool> = mask
+        .live_offsets(fi)
+        .iter()
+        .map(|&o| naive.config().get_bit(imp.bitstream.frame_base(addr) + o))
+        .collect();
+    assert!(wiped.iter().all(|&v| !v), "naive repair clobbers live data");
+}

@@ -1,0 +1,134 @@
+//! Simulator-vs-beam validation (paper §III-B): replay the accelerator
+//! procedure against the SEU simulator's sensitivity map and check the
+//! agreement statistics land where the paper's did — high-90s percent,
+//! with the shortfall caused exclusively by hidden state.
+
+use cibola::prelude::*;
+use cibola::inject::ErrorCause;
+
+fn campaign_map(
+    imp: &Implementation,
+    cycles: usize,
+) -> (Testbed, std::collections::HashSet<usize>) {
+    let tb = Testbed::new(imp, 0xBEA3, cycles);
+    let result = run_campaign(
+        &tb,
+        &CampaignConfig {
+            observe_cycles: 64,
+            classify_persistence: false,
+            ..Default::default()
+        },
+    );
+    let map = result.sensitive_set();
+    (tb, map)
+}
+
+#[test]
+fn config_only_beam_agrees_with_simulator() {
+    // With hidden-state strikes turned off, every observed error must have
+    // been predicted: agreement 100 %.
+    let geom = Geometry::tiny();
+    let nl = cibola::designs::PaperDesign::CounterAdder { width: 6 }.netlist();
+    let imp = implement(&nl, &geom).unwrap();
+    let (tb, map) = campaign_map(&imp, 40_000);
+
+    let mut beam = ProtonBeam::new(
+        BeamConfig {
+            upsets_per_second: 6.0,
+            mix: TargetMix::config_only(),
+            half_latch_recovery_mean_s: None,
+        },
+        0xACCE1,
+    );
+    let result = beam_validation(
+        &tb,
+        &mut beam,
+        &map,
+        &BeamRunConfig {
+            observations: 600,
+            cycles_per_observation: 64,
+            ..Default::default()
+        },
+    );
+    assert!(result.error_count() > 10, "beam produced {} errors", result.error_count());
+    assert_eq!(
+        result.agreement(),
+        1.0,
+        "bitstream-only upsets are fully predicted: {:?}",
+        result.error_events
+    );
+    assert!(result.bitstream_repairs > 0);
+}
+
+#[test]
+fn realistic_beam_lands_in_the_high_nineties() {
+    // With the paper's measured cross-section mix, a small fraction of
+    // errors comes from hidden state the simulator cannot predict —
+    // the structural origin of the 97.6 % figure.
+    let geom = Geometry::tiny();
+    let nl = cibola::designs::PaperDesign::CounterAdder { width: 6 }.netlist();
+    let imp = implement(&nl, &geom).unwrap();
+    let (tb, map) = campaign_map(&imp, 40_000);
+
+    // The paper servoed flux to ≈1 upset per observation "since they are
+    // generally isolated events"; higher flux creates multi-upset windows
+    // whose joint effects the single-bit map cannot attribute.
+    let mut beam = ProtonBeam::new(
+        BeamConfig {
+            upsets_per_second: 2.0,
+            mix: TargetMix::default(),
+            half_latch_recovery_mean_s: None,
+        },
+        0xACCE2,
+    );
+    let result = beam_validation(
+        &tb,
+        &mut beam,
+        &map,
+        &BeamRunConfig {
+            observations: 4000,
+            cycles_per_observation: 64,
+            ..Default::default()
+        },
+    );
+    let agreement = result.agreement();
+    assert!(result.error_count() > 30, "errors {}", result.error_count());
+    assert!(
+        (0.85..1.0).contains(&agreement),
+        "agreement {agreement:.3} should be high but imperfect"
+    );
+    // Misattributions must stay rare: a multi-upset window can pair two
+    // individually-benign bits into a joint failure, but at ≈1 upset per
+    // observation such windows are the exception.
+    let unpredicted = result
+        .error_events
+        .iter()
+        .filter(|c| **c == ErrorCause::UnpredictedConfig)
+        .count();
+    assert!(
+        unpredicted * 5 <= result.error_count(),
+        "unpredicted-config events {unpredicted} of {}",
+        result.error_count()
+    );
+    assert!(result.half_latch_strikes + result.user_ff_strikes + result.fsm_strikes > 0);
+}
+
+#[test]
+fn beam_timing_model_matches_fig12() {
+    let geom = Geometry::tiny();
+    let nl = cibola::designs::PaperDesign::CounterAdder { width: 4 }.netlist();
+    let imp = implement(&nl, &geom).unwrap();
+    let (tb, map) = campaign_map(&imp, 6_400);
+    let mut beam = ProtonBeam::new(BeamConfig::default(), 1);
+    let cfg = BeamRunConfig {
+        observations: 100,
+        cycles_per_observation: 64,
+        ..Default::default()
+    };
+    let result = beam_validation(&tb, &mut beam, &map, &cfg);
+    // 0.5 s per observation plus 430 µs per loop iteration.
+    let floor = 100.0 * 0.5;
+    let t = result.sim_time.as_secs_f64();
+    assert!(t >= floor, "beam time {t:.3}s");
+    assert!(t < floor * 1.2);
+}

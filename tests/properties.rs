@@ -1,0 +1,165 @@
+//! Property-based tests over the core invariants: configuration-memory
+//! addressing, ECC, CRC, random-netlist device equivalence, and
+//! injection-repair round trips.
+
+use proptest::prelude::*;
+
+use cibola::arch::bitvec::BitVec;
+use cibola::prelude::*;
+use cibola::scrub::{crc32, ecc_decode, ecc_encode, EccOutcome};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// ECC: any single-bit corruption of any codeword is corrected.
+    #[test]
+    fn ecc_corrects_single_flips(data: u64, flip in 0usize..72) {
+        let cw = ecc_encode(data);
+        let bad = if flip < 64 {
+            cibola::scrub::CodeWord { data: cw.data ^ (1 << flip), check: cw.check }
+        } else {
+            cibola::scrub::CodeWord { data: cw.data, check: cw.check ^ (1 << (flip - 64)) }
+        };
+        let (fixed, outcome) = ecc_decode(bad);
+        prop_assert_eq!(outcome, EccOutcome::Corrected);
+        prop_assert_eq!(fixed, data);
+    }
+
+    /// ECC: any double-bit data corruption is flagged uncorrectable.
+    #[test]
+    fn ecc_detects_double_flips(data: u64, a in 0usize..64, b in 0usize..64) {
+        prop_assume!(a != b);
+        let cw = ecc_encode(data);
+        let bad = cibola::scrub::CodeWord {
+            data: cw.data ^ (1 << a) ^ (1 << b),
+            check: cw.check,
+        };
+        let (_, outcome) = ecc_decode(bad);
+        prop_assert_eq!(outcome, EccOutcome::Uncorrectable);
+    }
+
+    /// CRC-32 detects every single-bit flip in a frame-sized buffer.
+    #[test]
+    fn crc_detects_single_flips(seed: u64, byte in 0usize..240, bit in 0usize..8) {
+        let mut data = vec![0u8; 240];
+        let mut s = seed | 1;
+        for v in data.iter_mut() {
+            s ^= s << 13; s ^= s >> 7; s ^= s << 17;
+            *v = (s & 0xff) as u8;
+        }
+        let clean = crc32(&data);
+        data[byte] ^= 1 << bit;
+        prop_assert_ne!(crc32(&data), clean);
+    }
+
+    /// BitVec field writes never disturb neighbours.
+    #[test]
+    fn bitvec_fields_are_isolated(off in 0usize..200, n in 1usize..17, v: u64) {
+        let mut bv = BitVec::zeros(256);
+        bv.set_bits(off, n, v);
+        let masked = v & ((1u64 << n) - 1).max(1).wrapping_sub(0);
+        let want = if n == 64 { v } else { v & ((1 << n) - 1) };
+        let _ = masked;
+        prop_assert_eq!(bv.get_bits(off, n), want);
+        for i in 0..256 {
+            if i < off || i >= off + n {
+                prop_assert!(!bv.get(i), "bit {} disturbed", i);
+            }
+        }
+    }
+
+    /// Frame readback/rewrite is the identity on configuration memory.
+    #[test]
+    fn frame_roundtrip_is_identity(frame_pick in 0usize..64, bits in proptest::collection::vec(any::<u32>(), 8)) {
+        let mut cm = ConfigMemory::new(Geometry::tiny());
+        // Scatter some content.
+        for (i, b) in bits.iter().enumerate() {
+            let idx = (*b as usize + i * 7919) % cm.total_bits();
+            cm.set_bit(idx, true);
+        }
+        let addr = cm.frame_addr(frame_pick % cm.frame_count());
+        let data = cm.read_frame(addr);
+        let mut cm2 = cm.clone();
+        cm2.write_frame(addr, &data);
+        prop_assert!(cm2.diff(&cm).is_empty());
+    }
+
+    /// locate() is the exact inverse of frame_base + offset.
+    #[test]
+    fn locate_inverts_frame_addressing(idx in 0usize..100_000) {
+        let cm = ConfigMemory::new(Geometry::tiny());
+        let idx = idx % cm.total_bits();
+        let (addr, off) = cm.locate(idx);
+        prop_assert_eq!(cm.frame_base(addr) + off, idx);
+    }
+}
+
+proptest! {
+    // Device-level properties are slower; fewer cases.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Random combinational netlists behave identically on the device and
+    /// in the reference interpreter.
+    #[test]
+    fn random_comb_netlists_verify(ops in proptest::collection::vec((0u8..5, any::<u16>()), 4..24), seed: u64) {
+        let mut b = NetlistBuilder::new("rand-comb");
+        let inputs = b.inputs(4);
+        let mut nets = inputs.clone();
+        for (op, tbl) in ops {
+            let n = nets.len();
+            let a = nets[(tbl as usize) % n];
+            let c = nets[(tbl as usize / 7) % n];
+            let out = match op % 5 {
+                0 => b.xor2(a, c),
+                1 => b.and2(a, c),
+                2 => b.or2(a, c),
+                3 => b.not(a),
+                _ => {
+                    let d = nets[(tbl as usize / 31) % n];
+                    b.lut(&[a, c, d], move |x| (tbl >> (x & 7)) & 1 == 1)
+                }
+            };
+            nets.push(out);
+        }
+        let last = *nets.last().unwrap();
+        b.output(last);
+        let q = b.ff(last, false);
+        b.output(q);
+        let nl = b.finish();
+        let r = cibola::netlist::verify::verify_on_device(&nl, &Geometry::tiny(), 64, seed);
+        prop_assert!(r.is_ok(), "{:?}", r.err().map(|e| e.to_string()));
+    }
+
+    /// Corrupt-then-repair is the identity: after flipping any bit, running
+    /// a while, flipping back and resetting, the device tracks golden again.
+    #[test]
+    fn inject_repair_roundtrip(bit_seed: u64, run in 1usize..24) {
+        let geom = Geometry::tiny();
+        let nl = cibola::designs::PaperDesign::CounterAdder { width: 4 }.netlist();
+        let imp = implement(&nl, &geom).unwrap();
+        let mut dev = Device::new(geom.clone());
+        dev.configure_full(&imp.bitstream);
+        let bit = (bit_seed as usize) % imp.bitstream.total_bits();
+
+        dev.flip_config_bit(bit);
+        for _ in 0..run {
+            dev.step(&[false; 4]);
+        }
+        dev.flip_config_bit(bit);
+        // Corruption may have awakened a dynamic resource that wrote the
+        // image; that is exactly what the flag reports.
+        if dev.design_wrote_config() {
+            dev.configure_full(&imp.bitstream);
+        } else {
+            prop_assert!(dev.config().diff(&imp.bitstream).is_empty());
+            dev.reset();
+        }
+
+        let mut golden = Device::new(geom.clone());
+        golden.configure_full(&imp.bitstream);
+        for c in 0..32 {
+            let iv = [c % 2 == 0, c % 3 == 0, false, true];
+            prop_assert_eq!(dev.step(&iv), golden.step(&iv), "cycle {}", c);
+        }
+    }
+}
