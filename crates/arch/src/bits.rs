@@ -176,9 +176,7 @@ pub fn decode_mux(v: u8) -> MuxSel {
             (v as usize % WIRES_PER_DIR) as u8,
         ),
         96..=111 => MuxSel::Floating,
-        112..=175 => MuxSel::HalfLatch {
-            invert: v & 1 == 1,
-        },
+        112..=175 => MuxSel::HalfLatch { invert: v & 1 == 1 },
         _ => MuxSel::Floating,
     }
 }
@@ -456,7 +454,7 @@ mod tests {
 
     #[test]
     fn layout_fits_frames() {
-        assert!(TILE_BITS_USED <= TILE_BITS);
+        const _: () = assert!(TILE_BITS_USED <= TILE_BITS);
         assert_eq!(TILE_BITS, FRAMES_PER_CLB_COL * TILE_BITS_PER_FRAME);
         assert_eq!(TILE_BITS_USED, 1408);
     }

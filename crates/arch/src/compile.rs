@@ -28,7 +28,7 @@ use crate::halflatch::HlSite;
 use crate::permfault::FaultSite;
 
 /// Maximum PIP chain length traced before declaring a routing loop.
-const MAX_TRACE_DEPTH: usize = 64;
+pub(crate) const MAX_TRACE_DEPTH: usize = 64;
 
 /// A value source in the compiled network.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -36,19 +36,28 @@ pub(crate) enum Src {
     Zero,
     One,
     /// A half-latch-kept unconnected input.
-    HalfLatch { site: HlSite, invert: bool },
+    HalfLatch {
+        site: HlSite,
+        invert: bool,
+    },
     /// Output of compiled LUT node `0`.
     Lut(u32),
     /// Output of compiled flip-flop node `0`.
     Ff(u32),
     /// Bit `bit` of the output register of compiled BRAM node `id`.
-    Bram { id: u32, bit: u8 },
+    Bram {
+        id: u32,
+        bit: u8,
+    },
     /// External input port.
-    Input { port: u16, invert: bool },
+    Input {
+        port: u16,
+        invert: bool,
+    },
 }
 
 /// A compiled LUT.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub(crate) struct CLut {
     pub tile: Tile,
     pub slice: u8,
@@ -64,7 +73,7 @@ pub(crate) struct CLut {
 }
 
 /// A compiled flip-flop.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub(crate) struct CFf {
     pub d: Src,
     pub ce: Src,
@@ -75,7 +84,7 @@ pub(crate) struct CFf {
 }
 
 /// A compiled BRAM block port.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub(crate) struct CBram {
     pub col: u16,
     pub block: u16,
@@ -244,10 +253,11 @@ impl<'d> Builder<'d> {
         let idx = flat % WIRES_PER_DIR;
         // Output multiplexer has priority over PIPs.
         if idx < OUTMUX_WIRES_PER_DIR {
-            let e = self
-                .dev
-                .config
-                .read_tile_field(tile, outmux_offset(dir, idx), OUTMUX_BITS_PER_WIRE);
+            let e = self.dev.config.read_tile_field(
+                tile,
+                outmux_offset(dir, idx),
+                OUTMUX_BITS_PER_WIRE,
+            );
             if e & 1 == 1 {
                 let sel = ((e >> 1) & 3) as u8;
                 return self.slice_out_src(tile, sel / 2, sel % 2);
@@ -280,9 +290,7 @@ impl<'d> Builder<'d> {
     /// Source feeding the incoming wire (`dir`, `idx`) of `tile`.
     fn in_wire_src(&mut self, tile: Tile, dir: Dir, idx: usize, depth: usize) -> Src {
         match self.dev.geom.neighbor(tile, dir) {
-            Some(nb) => {
-                self.out_wire_src(nb, dir.opposite() as usize * WIRES_PER_DIR + idx, depth)
-            }
+            Some(nb) => self.out_wire_src(nb, dir.opposite() as usize * WIRES_PER_DIR + idx, depth),
             None => {
                 // Device boundary. West-edge wires can be bound to input
                 // ports through the IOB configuration.
@@ -303,14 +311,18 @@ impl<'d> Builder<'d> {
 
     /// Source of slice output `out` (0 = X, 1 = Y) of (`tile`, `slice`).
     fn slice_out_src(&mut self, tile: Tile, slice: u8, out: u8) -> Src {
-        if let Some(v) = self.dev.perm_faults.get(FaultSite::SliceOut { tile, slice, out }) {
+        if let Some(v) = self
+            .dev
+            .perm_faults
+            .get(FaultSite::SliceOut { tile, slice, out })
+        {
             return const_src(v);
         }
-        let reg = self
-            .dev
-            .config
-            .read_tile_field(tile, out_sel_offset(slice as usize, out as usize), 1)
-            != 0;
+        let reg =
+            self.dev
+                .config
+                .read_tile_field(tile, out_sel_offset(slice as usize, out as usize), 1)
+                != 0;
         if reg {
             Src::Ff(self.ff_id(tile, slice, out))
         } else {
@@ -320,7 +332,11 @@ impl<'d> Builder<'d> {
 
     /// Source for LUT `lut` of (`tile`, `slice`), honouring stuck outputs.
     fn lut_src(&mut self, tile: Tile, slice: u8, lut: u8) -> Src {
-        if let Some(v) = self.dev.perm_faults.get(FaultSite::LutOut { tile, slice, lut }) {
+        if let Some(v) = self
+            .dev
+            .perm_faults
+            .get(FaultSite::LutOut { tile, slice, lut })
+        {
             return const_src(v);
         }
         Src::Lut(self.lut_id(tile, slice, lut))
@@ -378,21 +394,11 @@ impl<'d> Builder<'d> {
             lut_mode_offset(slice as usize, lut as usize),
             2,
         ));
-        let table = cfg.read_tile_field(
-            tile,
-            lut_table_offset(slice as usize, lut as usize, 0),
-            16,
-        ) as u16;
+        let table =
+            cfg.read_tile_field(tile, lut_table_offset(slice as usize, lut as usize, 0), 16) as u16;
         let mut pins = [Src::Zero; 4];
         for (p, pin) in pins.iter_mut().enumerate() {
-            *pin = self.mux_src(
-                tile,
-                slice,
-                MuxPin::LutPin {
-                    lut,
-                    pin: p as u8,
-                },
-            );
+            *pin = self.mux_src(tile, slice, MuxPin::LutPin { lut, pin: p as u8 });
         }
         let (data, we) = if mode.is_dynamic() {
             let data_pin = if lut == 0 { MuxPin::Bx } else { MuxPin::By };
@@ -419,10 +425,8 @@ impl<'d> Builder<'d> {
         let slice = ((state_idx / 2) % 2) as u8;
         let tile = self.dev.geom.tile_at(state_idx / 4);
         let cfg = &self.dev.config;
-        let dmux =
-            cfg.read_tile_field(tile, ff_dmux_offset(slice as usize, ff as usize), 1) != 0;
-        let init =
-            cfg.read_tile_field(tile, ff_init_offset(slice as usize, ff as usize), 1) != 0;
+        let dmux = cfg.read_tile_field(tile, ff_dmux_offset(slice as usize, ff as usize), 1) != 0;
+        let init = cfg.read_tile_field(tile, ff_init_offset(slice as usize, ff as usize), 1) != 0;
         let d = if dmux {
             let pin = if ff == 0 { MuxPin::Bx } else { MuxPin::By };
             self.mux_src(tile, slice, pin)
@@ -463,7 +467,7 @@ impl<'d> Builder<'d> {
     }
 }
 
-fn const_src(v: bool) -> Src {
+pub(crate) fn const_src(v: bool) -> Src {
     if v {
         Src::One
     } else {
@@ -483,8 +487,11 @@ pub(crate) fn compile(dev: &Device) -> Compiled {
         for wire in 0..WIRES_PER_DIR {
             let e = dev.config.read_iob(Edge::East, row, wire);
             if e.enabled {
-                let src =
-                    b.out_wire_src(Tile::new(row, last_col), Dir::East as usize * WIRES_PER_DIR + wire, 0);
+                let src = b.out_wire_src(
+                    Tile::new(row, last_col),
+                    Dir::East as usize * WIRES_PER_DIR + wire,
+                    0,
+                );
                 port_srcs.push((e.port, src, e.invert));
             }
         }

@@ -260,10 +260,11 @@ impl Device {
             let tile = self.geom.tile_at(ti);
             for slice in 0..2 {
                 for ff in 0..2 {
-                    let init = self
-                        .config
-                        .read_tile_field(tile, crate::bits::ff_init_offset(slice, ff), 1)
-                        != 0;
+                    let init = self.config.read_tile_field(
+                        tile,
+                        crate::bits::ff_init_offset(slice, ff),
+                        1,
+                    ) != 0;
                     let idx = self.ff_index(tile, slice, ff);
                     self.ff_state.set(idx, init);
                 }
@@ -293,30 +294,48 @@ impl Device {
     /// the output-port values. An unprogrammed device returns all-zero
     /// outputs and does not advance.
     pub fn step(&mut self, inputs: &[bool]) -> Vec<bool> {
+        let mut out = Vec::new();
+        self.step_into(inputs, &mut out);
+        out
+    }
+
+    /// Allocation-free [`Device::step`]: outputs land in `out` (cleared
+    /// first). Reusing one buffer across an observe window keeps the
+    /// injection hot loop off the heap entirely.
+    pub fn step_into(&mut self, inputs: &[bool], out: &mut Vec<bool>) {
         self.ensure_compiled();
         if !self.programmed {
             let n = self.compiled.as_ref().unwrap().outputs.len();
-            return vec![false; n];
+            out.clear();
+            out.resize(n, false);
+            return;
         }
         let mut c = self.compiled.take().expect("compiled network");
-        let out = engine::eval_cycle(&mut c, self, inputs);
+        engine::eval_cycle_into(&mut c, self, inputs, out);
         self.cycles += 1;
         self.compiled = Some(c);
-        out
     }
 
     /// Sample the outputs without advancing the clock (combinational
     /// settle only).
     pub fn sample_outputs(&mut self, inputs: &[bool]) -> Vec<bool> {
+        let mut out = Vec::new();
+        self.sample_outputs_into(inputs, &mut out);
+        out
+    }
+
+    /// Allocation-free [`Device::sample_outputs`] (see [`Device::step_into`]).
+    pub fn sample_outputs_into(&mut self, inputs: &[bool], out: &mut Vec<bool>) {
         self.ensure_compiled();
         if !self.programmed {
             let n = self.compiled.as_ref().unwrap().outputs.len();
-            return vec![false; n];
+            out.clear();
+            out.resize(n, false);
+            return;
         }
         let mut c = self.compiled.take().expect("compiled network");
-        let out = engine::settle_outputs(&mut c, self, inputs);
+        engine::settle_outputs_into(&mut c, self, inputs, out);
         self.compiled = Some(c);
-        out
     }
 
     pub(crate) fn ensure_compiled(&mut self) {

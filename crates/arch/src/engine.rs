@@ -1,6 +1,6 @@
 //! Cycle-accurate evaluation of a compiled network.
 //!
-//! Each [`eval_cycle`] is one user-clock edge: combinational logic settles
+//! Each [`eval_cycle_into`] is one user-clock edge: combinational logic settles
 //! (iteratively if corruption created cycles), outputs are sampled, then
 //! sequential state commits — flip-flops, BRAM ports, and run-time LUT
 //! writes (distributed RAM / SRL16), which write *through* to configuration
@@ -56,23 +56,39 @@ fn settle(c: &mut Compiled, d: &Device, inputs: &[bool]) {
     c.lut_vals = vals;
 }
 
-fn read_outputs(c: &Compiled, d: &Device, inputs: &[bool]) -> Vec<bool> {
-    c.outputs
-        .iter()
-        .map(|&(src, inv)| src_val(src, &c.lut_vals, c, d, inputs) ^ inv)
-        .collect()
+/// Sample the output pins into a caller-provided scratch buffer (cleared
+/// first), so steady-state stepping performs no heap allocation.
+fn read_outputs_into(c: &Compiled, d: &Device, inputs: &[bool], out: &mut Vec<bool>) {
+    out.clear();
+    out.extend(
+        c.outputs
+            .iter()
+            .map(|&(src, inv)| src_val(src, &c.lut_vals, c, d, inputs) ^ inv),
+    );
 }
 
 /// Settle and sample outputs without advancing sequential state.
-pub(crate) fn settle_outputs(c: &mut Compiled, d: &mut Device, inputs: &[bool]) -> Vec<bool> {
+pub(crate) fn settle_outputs_into(
+    c: &mut Compiled,
+    d: &mut Device,
+    inputs: &[bool],
+    out: &mut Vec<bool>,
+) {
     settle(c, d, inputs);
-    read_outputs(c, d, inputs)
+    read_outputs_into(c, d, inputs, out);
 }
 
-/// Execute one full clock cycle; returns the sampled outputs.
-pub(crate) fn eval_cycle(c: &mut Compiled, d: &mut Device, inputs: &[bool]) -> Vec<bool> {
+/// Execute one full clock cycle, sampling outputs into `out` (cleared
+/// first). The hot path of every fault-injection experiment: with a
+/// caller-reused buffer, a whole observe window allocates nothing.
+pub(crate) fn eval_cycle_into(
+    c: &mut Compiled,
+    d: &mut Device,
+    inputs: &[bool],
+    out: &mut Vec<bool>,
+) {
     settle(c, d, inputs);
-    let out = read_outputs(c, d, inputs);
+    read_outputs_into(c, d, inputs, out);
 
     // Flip-flop next-state (double-buffered: all D/CE/SR sampled before any
     // commit).
@@ -155,7 +171,7 @@ pub(crate) fn eval_cycle(c: &mut Compiled, d: &mut Device, inputs: &[bool]) -> V
                 }
                 t
             }
-            LutMode::Shift => ((c.luts[li].table << 1) | data as u16) & 0xffff,
+            LutMode::Shift => (c.luts[li].table << 1) | data as u16,
             _ => unreachable!(),
         };
         let (tile, slice, lut) = {
@@ -173,6 +189,4 @@ pub(crate) fn eval_cycle(c: &mut Compiled, d: &mut Device, inputs: &[bool]) -> V
         let idx = c.ffs[i].state_idx;
         d.ff_state.set(idx, c.ff_next[i]);
     }
-
-    out
 }

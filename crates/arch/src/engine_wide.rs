@@ -1,0 +1,1063 @@
+//! Word-parallel (64-lane) batch evaluation of a compiled network — the
+//! classic parallel-fault-simulation technique (PPSFP: parallel-pattern /
+//! parallel-fault single-fault propagation, here one *fault* per lane).
+//!
+//! Every signal in the compiled network is evaluated as a `u64` whose bit
+//! `l` is the value seen by lane `l`. Lane 0 always runs the golden
+//! (uncorrupted) configuration; lanes 1..64 each carry one independent
+//! single-bit-upset experiment, applied as a lane-masked XOR overlay on
+//! the lane-packed state. Output divergence for a lane is then a single
+//! `XOR` against the golden trace — 63 injection experiments advance per
+//! [`WideEngine::step`], which is what makes exhaustive campaigns cheap
+//! enough to run interactively (paper §III's hardware made the same move
+//! with a dedicated comparator FPGA).
+//!
+//! The engine can express exactly the upsets that do **not** change the
+//! compiled topology — LUT truth-table bits, flip-flop init bits and BRAM
+//! content bits of *compiled* elements (the classes
+//! [`Device::flip_config_bit`] patches in place rather than recompiling).
+//! [`WideEngine::classify`] sorts any global configuration-bit index into
+//! lane-expressible / provably-benign / structural; structural bits fall
+//! back to the scalar path, where [`same_topology`] lets the caller prove
+//! most of them benign with one recompile and no observe window.
+//!
+//! Evaluation mirrors `engine::eval_cycle_into` phase for phase: settle
+//! (single topological sweep — the engine refuses combinational cycles),
+//! output sample, FF next-state, BRAM port operations (write-first,
+//! in-order), dynamic LUT writes (RAM / SRL16), FF commit. Per-lane truth
+//! tables are held as 16 minterm bit-planes and evaluated by Shannon
+//! reduction on the four lane-packed pin words, which uniformly handles
+//! corrupted-table lanes and run-time LUT writes.
+
+use crate::bits::{BitRole, LutMode};
+use crate::compile::{Compiled, Src};
+use crate::delta::{DeltaOp, LaneUpset, UpsetKind};
+use crate::device::Device;
+use crate::frames::BitLocus;
+use crate::geometry::{BRAM_DEPTH, BRAM_WIDTH};
+use crate::halflatch::HalfLatches;
+
+/// Experiments per batch including the golden lane 0.
+pub const LANES: usize = 64;
+
+/// A single-bit upset expressed as a lane overlay on the packed state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WideTarget {
+    /// Bit `bit` of compiled LUT `lut`'s truth table.
+    LutTable { lut: u32, bit: u8 },
+    /// The init/set-reset value of compiled flip-flop `ff`.
+    FfInit { ff: u32 },
+    /// Bit `plane` of word `addr` of compiled BRAM block `mem` (dense
+    /// block index, see [`WideEngine::classify`]).
+    BramBit { mem: u32, addr: u16, plane: u8 },
+}
+
+/// What the wide engine can do with one global configuration-bit index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WideClass {
+    /// Expressible as a lane overlay: run it wide.
+    Lane(WideTarget),
+    /// Provably inert without simulation: the bit is never read by the
+    /// compiled network (uncompiled LUT table / FF init / BRAM content,
+    /// slice padding, reserved fields). Flipping it cannot change
+    /// behaviour, so the experiment outcome is benign by construction.
+    Benign,
+    /// May change the compiled topology: needs the scalar path (where
+    /// [`same_topology`] can still prove it benign with one compile).
+    Structural,
+}
+
+#[inline]
+fn splat(b: bool) -> u64 {
+    if b {
+        !0
+    } else {
+        0
+    }
+}
+
+/// Iterate over the set bit positions of `w`.
+#[inline]
+fn ones(mut w: u64) -> impl Iterator<Item = usize> {
+    std::iter::from_fn(move || {
+        if w == 0 {
+            None
+        } else {
+            let l = w.trailing_zeros() as usize;
+            w &= w - 1;
+            Some(l)
+        }
+    })
+}
+
+/// Expand a scalar truth table into 16 lane-broadcast minterm planes.
+#[inline]
+fn broadcast_table(t: u16) -> [u64; 16] {
+    let mut p = [0u64; 16];
+    for (m, plane) in p.iter_mut().enumerate() {
+        *plane = splat((t >> m) & 1 == 1);
+    }
+    p
+}
+
+/// Get-or-create the override slot for node `i`.
+fn ov_mut<'a, T: Default>(idx: &mut [u32], ovs: &'a mut Vec<T>, i: u32) -> &'a mut T {
+    if idx[i as usize] == u32::MAX {
+        idx[i as usize] = ovs.len() as u32;
+        ovs.push(T::default());
+    }
+    &mut ovs[idx[i as usize] as usize]
+}
+
+/// The source lane `m` actually reads: the last override covering the
+/// lane, or the golden base.
+fn eff_src(base: Src, ovs: &[(u64, Src)], m: u64) -> Src {
+    let mut s = base;
+    for &(mask, src) in ovs {
+        if mask & m != 0 {
+            s = src;
+        }
+    }
+    s
+}
+
+/// True if `a` and `b` currently compile to behaviourally identical
+/// networks: same LUTs (pins, modes, tables), flip-flops, BRAM ports,
+/// output bindings and input count. Because the evaluation engine reads
+/// configuration memory only through the compiled network and BRAM
+/// content words, equal topologies on devices with equal BRAM content are
+/// guaranteed to produce identical traces — this is what lets a campaign
+/// prove a structural-bit upset benign with one recompile instead of a
+/// full observe window. (Scratch state and the closure-analysis fields
+/// are deliberately not compared.)
+pub fn same_topology(a: &mut Device, b: &mut Device) -> bool {
+    a.ensure_compiled();
+    b.ensure_compiled();
+    let ca = a.compiled.as_ref().unwrap();
+    let cb = b.compiled.as_ref().unwrap();
+    ca.num_inputs == cb.num_inputs
+        && ca.outputs == cb.outputs
+        && ca.luts == cb.luts
+        && ca.ffs == cb.ffs
+        && ca.brams == cb.brams
+}
+
+/// Per-LUT lane-masked source overrides installed by reroute upsets.
+/// Each entry rebinds the source for the lanes in its mask; masks from
+/// different lanes are disjoint, so application order is irrelevant.
+#[derive(Debug, Clone, Default)]
+struct LutOv {
+    pins: [Vec<(u64, Src)>; 4],
+    data: Vec<(u64, Src)>,
+    we: Vec<(u64, Src)>,
+}
+
+#[derive(Debug, Clone, Default)]
+struct FfOv {
+    d: Vec<(u64, Src)>,
+    ce: Vec<(u64, Src)>,
+    sr: Vec<(u64, Src)>,
+}
+
+#[derive(Debug, Clone, Default)]
+struct BramOv {
+    addr: [Vec<(u64, Src)>; 8],
+    din: [Vec<(u64, Src)>; 16],
+    we: Vec<(u64, Src)>,
+    en: Vec<(u64, Src)>,
+}
+
+/// One lane's replacement output vector: (lane, corrupted outputs,
+/// reachability seeds — the sources of every enabled east entry in the
+/// lane's corrupted configuration, shadowed bindings included).
+type OutOverride = (u8, Vec<(Src, bool)>, Vec<Src>);
+
+/// The word-parallel engine: a golden network snapshot plus lane-packed
+/// dynamic state for one batch of up to [`LANES`]` - 1` experiments.
+#[derive(Debug, Clone)]
+pub struct WideEngine {
+    net: Compiled,
+    half: HalfLatches,
+    /// Golden truth table per compiled LUT (batch reset source).
+    golden_tables: Vec<u16>,
+    /// Golden init value per compiled FF.
+    golden_init: Vec<bool>,
+    /// Golden BRAM content per dense block, 256 words each.
+    golden_mem: Vec<Vec<u16>>,
+    /// Per compiled BRAM port: dense block index into `mem`.
+    port_mem: Vec<u32>,
+    /// Per compiled BRAM port: dense output-register index into `bram_out`
+    /// (ports sharing a hardware register share an entry).
+    port_out: Vec<u32>,
+    /// Dense (col, block) list, parallel to `golden_mem`, for `classify`.
+    blocks: Vec<(u16, u16)>,
+
+    // ---- lane-packed state, rebuilt per batch ---------------------------
+    /// Truth tables as 16 minterm planes per LUT.
+    tab: Vec<[u64; 16]>,
+    lut_vals: Vec<u64>,
+    ff: Vec<u64>,
+    ff_next: Vec<u64>,
+    ff_init: Vec<u64>,
+    /// BRAM output registers as 16 data-bit planes per register.
+    bram_out: Vec<[u64; 16]>,
+    /// BRAM content as 16 planes per word per dense block.
+    mem: Vec<Vec<[u64; 16]>>,
+
+    /// State-overlay upsets as (lane, target) pairs.
+    state_targets: Vec<(u8, WideTarget)>,
+    /// Per-LUT override slot (`u32::MAX` = none) into `lut_ovs`.
+    lut_ov: Vec<u32>,
+    lut_ovs: Vec<LutOv>,
+    ff_ov: Vec<u32>,
+    ff_ovs: Vec<FfOv>,
+    bram_ov: Vec<u32>,
+    bram_ovs: Vec<BramOv>,
+    /// Per-lane replacement output vectors.
+    out_ovs: Vec<OutOverride>,
+    /// Freeze masks: bit `l` clear ⇒ the node is unreachable in lane
+    /// `l`'s corrupted network, so its dynamic state must not advance
+    /// (the scalar corrupted compile drops it from the cone).
+    lut_active: Vec<u64>,
+    ff_active: Vec<u64>,
+    bram_active: Vec<u64>,
+    /// Per golden output port: lanes whose corrupted network still drives
+    /// this port (comparison against the golden trace is meaningful).
+    valid_out: Vec<u64>,
+    /// Lanes whose corrupted output vector differs in *length* from the
+    /// golden one — the scalar comparator flags every cycle for these.
+    len_diff: u64,
+    has_reroute: bool,
+    /// Diagnostics mode: every flip-flop is compiled unconditionally, so
+    /// reroutes can never drop one from the cone.
+    all_state: bool,
+    repaired: bool,
+}
+
+impl WideEngine {
+    /// Snapshot `dev`'s compiled network. Returns `None` when the wide
+    /// engine cannot faithfully reproduce the scalar semantics: an
+    /// unprogrammed device, a network with combinational cycles (the
+    /// scalar engine's relaxation is warm-start history dependent), or a
+    /// BRAM block locked by an in-flight readback.
+    pub fn new(dev: &mut Device) -> Option<WideEngine> {
+        if !dev.is_programmed() {
+            return None;
+        }
+        dev.ensure_compiled();
+        if dev.bram_locked.iter().any(|&l| l > 0) {
+            return None;
+        }
+        let net = dev.compiled.as_ref().unwrap().clone();
+        if net.iterative {
+            return None;
+        }
+
+        let golden_tables: Vec<u16> = net.luts.iter().map(|l| l.table).collect();
+        let golden_init: Vec<bool> = net.ffs.iter().map(|f| f.init).collect();
+
+        let mut blocks: Vec<(u16, u16)> = Vec::new();
+        let mut regs: Vec<usize> = Vec::new();
+        let mut port_mem = Vec::with_capacity(net.brams.len());
+        let mut port_out = Vec::with_capacity(net.brams.len());
+        for b in &net.brams {
+            let key = (b.col, b.block);
+            let mi = blocks.iter().position(|&k| k == key).unwrap_or_else(|| {
+                blocks.push(key);
+                blocks.len() - 1
+            });
+            port_mem.push(mi as u32);
+            let oi = regs
+                .iter()
+                .position(|&r| r == b.reg_idx)
+                .unwrap_or_else(|| {
+                    regs.push(b.reg_idx);
+                    regs.len() - 1
+                });
+            port_out.push(oi as u32);
+        }
+        let golden_mem: Vec<Vec<u16>> = blocks
+            .iter()
+            .map(|&(col, block)| {
+                (0..BRAM_DEPTH)
+                    .map(|a| dev.config.read_bram_word(col as usize, block as usize, a))
+                    .collect()
+            })
+            .collect();
+
+        let n_luts = net.luts.len();
+        let n_ffs = net.ffs.len();
+        let n_regs = regs.len();
+        let n_blocks = blocks.len();
+        let n_ports = net.brams.len();
+        let n_outputs = net.outputs.len();
+        Some(WideEngine {
+            net,
+            half: dev.half_latches.clone(),
+            golden_tables,
+            golden_init,
+            golden_mem,
+            port_mem,
+            port_out,
+            blocks,
+            tab: vec![[0u64; 16]; n_luts],
+            lut_vals: vec![0; n_luts],
+            ff: vec![0; n_ffs],
+            ff_next: vec![0; n_ffs],
+            ff_init: vec![0; n_ffs],
+            bram_out: vec![[0u64; 16]; n_regs],
+            mem: vec![vec![[0u64; 16]; BRAM_DEPTH]; n_blocks],
+            state_targets: Vec::new(),
+            lut_ov: vec![u32::MAX; n_luts],
+            lut_ovs: Vec::new(),
+            ff_ov: vec![u32::MAX; n_ffs],
+            ff_ovs: Vec::new(),
+            bram_ov: vec![u32::MAX; n_ports],
+            bram_ovs: Vec::new(),
+            out_ovs: Vec::new(),
+            lut_active: vec![!0u64; n_luts],
+            ff_active: vec![!0u64; n_ffs],
+            bram_active: vec![!0u64; n_ports],
+            valid_out: vec![!0u64; n_outputs],
+            len_diff: 0,
+            has_reroute: false,
+            all_state: dev.compile_all_state,
+            repaired: true,
+        })
+    }
+
+    /// Number of output ports the network drives.
+    pub fn num_outputs(&self) -> usize {
+        self.net.outputs.len()
+    }
+
+    /// Experiments one batch can carry (lane 0 is the golden reference).
+    pub fn batch_capacity(&self) -> usize {
+        LANES - 1
+    }
+
+    /// Sort a global configuration-bit index into lane / benign /
+    /// structural (see [`WideClass`]).
+    pub fn classify(&self, dev: &Device, global: usize) -> WideClass {
+        match dev.config().describe(global) {
+            BitLocus::Clb { tile, role } => match role {
+                BitRole::LutTable { slice, lut, bit } => {
+                    let key =
+                        dev.geometry().tile_index(tile) * 4 + slice as usize * 2 + lut as usize;
+                    match self.net.lut_site_index[key] {
+                        u32::MAX => WideClass::Benign,
+                        id => WideClass::Lane(WideTarget::LutTable { lut: id, bit }),
+                    }
+                }
+                BitRole::FfInit { slice, ff } => {
+                    let key = dev.ff_index(tile, slice as usize, ff as usize);
+                    match self.net.ff_site_index[key] {
+                        u32::MAX => WideClass::Benign,
+                        id => WideClass::Lane(WideTarget::FfInit { ff: id }),
+                    }
+                }
+                BitRole::SliceReserved { .. } | BitRole::Pad => WideClass::Benign,
+                _ => WideClass::Structural,
+            },
+            BitLocus::BramContent { col, block, bit } => {
+                match self.blocks.iter().position(|&k| k == (col, block)) {
+                    // Content of a block no compiled port reads is never
+                    // observed by the engine.
+                    None => WideClass::Benign,
+                    Some(mi) => WideClass::Lane(WideTarget::BramBit {
+                        mem: mi as u32,
+                        addr: (bit as usize / BRAM_WIDTH) as u16,
+                        plane: (bit as usize % BRAM_WIDTH) as u8,
+                    }),
+                }
+            }
+            _ => WideClass::Structural,
+        }
+    }
+
+    /// Reset all lanes to the golden power-on state and corrupt lane
+    /// `i + 1` with `targets[i]`. State-overlay-only convenience wrapper
+    /// around [`WideEngine::load_batch_upsets`].
+    pub fn load_batch(&mut self, targets: &[WideTarget]) {
+        let ups: Vec<LaneUpset> = targets.iter().map(|&t| LaneUpset::state(t)).collect();
+        self.load_batch_upsets(&ups);
+    }
+
+    /// Reset all lanes to the golden power-on state (FFs at init, BRAM
+    /// output registers clear, golden tables and content) and corrupt
+    /// lane `i + 1` with `upsets[i]` — a state overlay (lane-masked XOR)
+    /// or a reroute (lane-masked source overrides plus freeze masks for
+    /// the nodes the corrupted cone drops). At most [`LANES`]` - 1`.
+    pub fn load_batch_upsets(&mut self, upsets: &[LaneUpset]) {
+        assert!(
+            upsets.len() < LANES,
+            "batch of {} exceeds {} experiment lanes",
+            upsets.len(),
+            LANES - 1
+        );
+        for (li, tab) in self.tab.iter_mut().enumerate() {
+            *tab = broadcast_table(self.golden_tables[li]);
+        }
+        self.lut_vals.fill(0);
+        for (i, &init) in self.golden_init.iter().enumerate() {
+            self.ff[i] = splat(init);
+            self.ff_init[i] = splat(init);
+        }
+        self.ff_next.fill(0);
+        for reg in self.bram_out.iter_mut() {
+            *reg = [0u64; 16];
+        }
+        for (mi, block) in self.mem.iter_mut().enumerate() {
+            for (a, word) in block.iter_mut().enumerate() {
+                *word = broadcast_table(self.golden_mem[mi][a]);
+            }
+        }
+        self.clear_reroutes();
+        self.state_targets.clear();
+        for (i, u) in upsets.iter().enumerate() {
+            let lane = (i + 1) as u8;
+            match &u.0 {
+                UpsetKind::State(t) => self.state_targets.push((lane, *t)),
+                UpsetKind::Reroute(ops) => {
+                    self.install_ops(lane, ops);
+                    self.has_reroute = true;
+                }
+            }
+        }
+        self.apply_state_overlays();
+        if self.has_reroute {
+            for (i, u) in upsets.iter().enumerate() {
+                if matches!(u.0, UpsetKind::Reroute(_)) {
+                    self.apply_reachability((i + 1) as u8);
+                }
+            }
+        }
+        self.repaired = false;
+    }
+
+    /// Undo every lane's corruption — the batched analogue of the repair
+    /// `flip_config_bit`. State overlays are an XOR, not a
+    /// restore-to-golden: a dynamic resource may have overwritten the
+    /// corrupted cell during the observe window, and the scalar repair
+    /// likewise flips whatever is there now. Reroute lanes drop their
+    /// source overrides and thaw their freeze masks — the scalar repair
+    /// recompiles back to the golden network with the device state
+    /// (including state the frozen nodes held) carried over. Dynamic
+    /// state is deliberately kept in both cases, so the persistence
+    /// window continues from the post-upset state exactly like the
+    /// scalar path.
+    pub fn repair(&mut self) {
+        if !self.repaired {
+            self.apply_state_overlays();
+            self.clear_reroutes();
+            self.repaired = true;
+        }
+    }
+
+    fn clear_reroutes(&mut self) {
+        if self.has_reroute {
+            self.lut_ov.fill(u32::MAX);
+            self.lut_ovs.clear();
+            self.ff_ov.fill(u32::MAX);
+            self.ff_ovs.clear();
+            self.bram_ov.fill(u32::MAX);
+            self.bram_ovs.clear();
+            self.out_ovs.clear();
+            self.lut_active.fill(!0);
+            self.ff_active.fill(!0);
+            self.bram_active.fill(!0);
+            self.valid_out.fill(!0);
+            self.len_diff = 0;
+            self.has_reroute = false;
+        }
+    }
+
+    fn apply_state_overlays(&mut self) {
+        for &(lane, t) in &self.state_targets {
+            let m = 1u64 << lane;
+            match t {
+                WideTarget::LutTable { lut, bit } => self.tab[lut as usize][bit as usize] ^= m,
+                WideTarget::FfInit { ff } => self.ff_init[ff as usize] ^= m,
+                WideTarget::BramBit { mem, addr, plane } => {
+                    self.mem[mem as usize][addr as usize][plane as usize] ^= m
+                }
+            }
+        }
+    }
+
+    /// Record one reroute lane's ops as lane-masked overrides.
+    fn install_ops(&mut self, lane: u8, ops: &[DeltaOp]) {
+        let m = 1u64 << lane;
+        for op in ops {
+            match op {
+                DeltaOp::LutPin { lut, pin, src } => {
+                    ov_mut(&mut self.lut_ov, &mut self.lut_ovs, *lut).pins[*pin as usize]
+                        .push((m, *src));
+                }
+                DeltaOp::LutData { lut, src } => {
+                    ov_mut(&mut self.lut_ov, &mut self.lut_ovs, *lut)
+                        .data
+                        .push((m, *src));
+                }
+                DeltaOp::LutWe { lut, src } => {
+                    ov_mut(&mut self.lut_ov, &mut self.lut_ovs, *lut)
+                        .we
+                        .push((m, *src));
+                }
+                DeltaOp::FfD { ff, src } => {
+                    ov_mut(&mut self.ff_ov, &mut self.ff_ovs, *ff)
+                        .d
+                        .push((m, *src));
+                }
+                DeltaOp::FfCe { ff, src } => {
+                    ov_mut(&mut self.ff_ov, &mut self.ff_ovs, *ff)
+                        .ce
+                        .push((m, *src));
+                }
+                DeltaOp::FfSr { ff, src } => {
+                    ov_mut(&mut self.ff_ov, &mut self.ff_ovs, *ff)
+                        .sr
+                        .push((m, *src));
+                }
+                DeltaOp::BramAddr { bram, i, src } => {
+                    ov_mut(&mut self.bram_ov, &mut self.bram_ovs, *bram).addr[*i as usize]
+                        .push((m, *src));
+                }
+                DeltaOp::BramDin { bram, i, src } => {
+                    ov_mut(&mut self.bram_ov, &mut self.bram_ovs, *bram).din[*i as usize]
+                        .push((m, *src));
+                }
+                DeltaOp::BramWe { bram, src } => {
+                    ov_mut(&mut self.bram_ov, &mut self.bram_ovs, *bram)
+                        .we
+                        .push((m, *src));
+                }
+                DeltaOp::BramEn { bram, src } => {
+                    ov_mut(&mut self.bram_ov, &mut self.bram_ovs, *bram)
+                        .en
+                        .push((m, *src));
+                }
+                DeltaOp::Outputs { outs, seeds } => {
+                    let gl = self.net.outputs.len();
+                    if outs.len() != gl {
+                        self.len_diff |= m;
+                    }
+                    // Golden ports the lane no longer drives drop out of
+                    // the comparison (the scalar comparator zips only the
+                    // common prefix).
+                    for valid in self.valid_out.iter_mut().skip(outs.len().min(gl)) {
+                        *valid &= !m;
+                    }
+                    self.out_ovs.push((lane, outs.clone(), seeds.clone()));
+                }
+            }
+        }
+    }
+
+    /// Freeze the nodes lane `lane`'s corrupted network drops: reverse
+    /// BFS from the lane's outputs over the golden graph with this lane's
+    /// source overrides applied. The scalar corrupted compile only keeps
+    /// the cone of the (corrupted) outputs; anything outside it holds its
+    /// state — FFs don't clock, dynamic LUT tables don't shift, BRAM
+    /// ports neither write nor latch — until repair restores the cone.
+    fn apply_reachability(&mut self, lane: u8) {
+        let m = 1u64 << lane;
+        let empty: &[(u64, Src)] = &[];
+        let mut lut_seen = vec![false; self.net.luts.len()];
+        let mut ff_seen = vec![false; self.net.ffs.len()];
+        let mut bram_seen = vec![false; self.net.brams.len()];
+        let mut work: Vec<Src> = Vec::new();
+
+        match self.out_ovs.iter().find(|&&(l, _, _)| l == lane) {
+            // The seed list covers every enabled entry's cone — also
+            // shadowed ones, which the compiler still traces and keeps
+            // clocking.
+            Some((_, _, seeds)) => work.extend_from_slice(seeds),
+            None => work.extend(self.net.outputs.iter().map(|&(s, _)| s)),
+        }
+        // Diagnostics mode compiles every flip-flop unconditionally, so a
+        // reroute can never drop one.
+        if self.all_state {
+            work.extend((0..self.net.ffs.len() as u32).map(Src::Ff));
+        }
+
+        while let Some(s) = work.pop() {
+            match s {
+                Src::Lut(i) => {
+                    let i = i as usize;
+                    if lut_seen[i] {
+                        continue;
+                    }
+                    lut_seen[i] = true;
+                    let l = &self.net.luts[i];
+                    let oi = self.lut_ov[i];
+                    for (p, &pin) in l.pins.iter().enumerate() {
+                        let ovs = if oi == u32::MAX {
+                            empty
+                        } else {
+                            &self.lut_ovs[oi as usize].pins[p]
+                        };
+                        work.push(eff_src(pin, ovs, m));
+                    }
+                    if l.mode.is_dynamic() {
+                        let (d_ovs, w_ovs) = if oi == u32::MAX {
+                            (empty, empty)
+                        } else {
+                            let ov = &self.lut_ovs[oi as usize];
+                            (&ov.data[..], &ov.we[..])
+                        };
+                        work.push(eff_src(l.data, d_ovs, m));
+                        work.push(eff_src(l.we, w_ovs, m));
+                    }
+                }
+                Src::Ff(i) => {
+                    let i = i as usize;
+                    if ff_seen[i] {
+                        continue;
+                    }
+                    ff_seen[i] = true;
+                    let f = &self.net.ffs[i];
+                    let oi = self.ff_ov[i];
+                    let (d, ce, sr) = if oi == u32::MAX {
+                        (empty, empty, empty)
+                    } else {
+                        let ov = &self.ff_ovs[oi as usize];
+                        (&ov.d[..], &ov.ce[..], &ov.sr[..])
+                    };
+                    work.push(eff_src(f.d, d, m));
+                    work.push(eff_src(f.ce, ce, m));
+                    work.push(eff_src(f.sr, sr, m));
+                }
+                Src::Bram { id, .. } => {
+                    let i = id as usize;
+                    if bram_seen[i] {
+                        continue;
+                    }
+                    bram_seen[i] = true;
+                    let b = &self.net.brams[i];
+                    let oi = self.bram_ov[i];
+                    for (k, &a) in b.addr.iter().enumerate() {
+                        let ovs = if oi == u32::MAX {
+                            empty
+                        } else {
+                            &self.bram_ovs[oi as usize].addr[k]
+                        };
+                        work.push(eff_src(a, ovs, m));
+                    }
+                    for (k, &d) in b.din.iter().enumerate() {
+                        let ovs = if oi == u32::MAX {
+                            empty
+                        } else {
+                            &self.bram_ovs[oi as usize].din[k]
+                        };
+                        work.push(eff_src(d, ovs, m));
+                    }
+                    let (we, en) = if oi == u32::MAX {
+                        (empty, empty)
+                    } else {
+                        let ov = &self.bram_ovs[oi as usize];
+                        (&ov.we[..], &ov.en[..])
+                    };
+                    work.push(eff_src(b.we, we, m));
+                    work.push(eff_src(b.en, en, m));
+                }
+                _ => {}
+            }
+        }
+
+        for (i, seen) in lut_seen.iter().enumerate() {
+            if !seen {
+                self.lut_active[i] &= !m;
+            }
+        }
+        for (i, seen) in ff_seen.iter().enumerate() {
+            if !seen {
+                self.ff_active[i] &= !m;
+            }
+        }
+        for (i, seen) in bram_seen.iter().enumerate() {
+            if !seen {
+                self.bram_active[i] &= !m;
+            }
+        }
+    }
+
+    /// Per golden output port, the lanes whose comparison against the
+    /// golden trace is meaningful for the current batch.
+    pub fn out_valid_masks(&self) -> &[u64] {
+        &self.valid_out
+    }
+
+    /// Lanes whose corrupted output vector differs in length from the
+    /// golden one — divergent on every cycle by the scalar comparator's
+    /// rules, regardless of port values.
+    pub fn len_diff_mask(&self) -> u64 {
+        self.len_diff
+    }
+
+    /// Lane-packed value of a compiled source.
+    #[inline]
+    fn val(&self, s: Src, inputs: &[bool]) -> u64 {
+        match s {
+            Src::Zero => 0,
+            Src::One => !0,
+            Src::HalfLatch { site, invert } => splat(self.half.value(site) ^ invert),
+            Src::Lut(i) => self.lut_vals[i as usize],
+            Src::Ff(i) => self.ff[i as usize],
+            Src::Bram { id, bit } => {
+                self.bram_out[self.port_out[id as usize] as usize][bit as usize]
+            }
+            Src::Input { port, invert } => {
+                splat(inputs.get(port as usize).copied().unwrap_or(false) ^ invert)
+            }
+        }
+    }
+
+    /// Lane-packed value of a compiled source with lane-masked overrides
+    /// applied on top.
+    #[inline]
+    fn oval(&self, base: Src, ovs: &[(u64, Src)], inputs: &[bool]) -> u64 {
+        let mut v = self.val(base, inputs);
+        for &(m, s) in ovs {
+            v = (v & !m) | (self.val(s, inputs) & m);
+        }
+        v
+    }
+
+    /// Gather the 4 lane-packed pin words of LUT `li`.
+    #[inline]
+    fn pin_words(&self, li: usize, inputs: &[bool]) -> [u64; 4] {
+        let pins = self.net.luts[li].pins;
+        let oi = self.lut_ov[li];
+        if oi == u32::MAX {
+            [
+                self.val(pins[0], inputs),
+                self.val(pins[1], inputs),
+                self.val(pins[2], inputs),
+                self.val(pins[3], inputs),
+            ]
+        } else {
+            let ov = &self.lut_ovs[oi as usize];
+            [
+                self.oval(pins[0], &ov.pins[0], inputs),
+                self.oval(pins[1], &ov.pins[1], inputs),
+                self.oval(pins[2], &ov.pins[2], inputs),
+                self.oval(pins[3], &ov.pins[3], inputs),
+            ]
+        }
+    }
+
+    /// One full clock edge for all lanes; outputs land in `out` (cleared
+    /// first) as one lane word per output port. Mirrors
+    /// `engine::eval_cycle_into` phase for phase.
+    pub fn step(&mut self, inputs: &[bool], out: &mut Vec<u64>) {
+        // Settle: one sweep in topological order (acyclic by construction).
+        for oi in 0..self.net.order.len() {
+            let li = self.net.order[oi] as usize;
+            let p = self.pin_words(li, inputs);
+            // Shannon reduction of the 16 minterm planes by the 4 pins.
+            let t = &self.tab[li];
+            let mut s8 = [0u64; 8];
+            for (j, s) in s8.iter_mut().enumerate() {
+                *s = (t[2 * j] & !p[0]) | (t[2 * j + 1] & p[0]);
+            }
+            let mut s4 = [0u64; 4];
+            for (j, s) in s4.iter_mut().enumerate() {
+                *s = (s8[2 * j] & !p[1]) | (s8[2 * j + 1] & p[1]);
+            }
+            let s2 = [
+                (s4[0] & !p[2]) | (s4[1] & p[2]),
+                (s4[2] & !p[2]) | (s4[3] & p[2]),
+            ];
+            self.lut_vals[li] = (s2[0] & !p[3]) | (s2[1] & p[3]);
+        }
+
+        // Sample outputs: golden bindings, then per-lane replacement
+        // vectors for reroute lanes whose output cone changed.
+        out.clear();
+        for &(src, inv) in &self.net.outputs {
+            out.push(self.val(src, inputs) ^ splat(inv));
+        }
+        for (lane, ovec, _) in &self.out_ovs {
+            let m = 1u64 << lane;
+            for (slot, &(src, inv)) in out.iter_mut().zip(ovec.iter()) {
+                *slot = (*slot & !m) | ((self.val(src, inputs) ^ splat(inv)) & m);
+            }
+        }
+
+        // FF next-state (double-buffered; reads old BRAM registers).
+        for i in 0..self.net.ffs.len() {
+            let ff = &self.net.ffs[i];
+            let oi = self.ff_ov[i];
+            let (sr, ce, d) = if oi == u32::MAX {
+                (
+                    self.val(ff.sr, inputs),
+                    self.val(ff.ce, inputs),
+                    self.val(ff.d, inputs),
+                )
+            } else {
+                let ov = &self.ff_ovs[oi as usize];
+                (
+                    self.oval(ff.sr, &ov.sr, inputs),
+                    self.oval(ff.ce, &ov.ce, inputs),
+                    self.oval(ff.d, &ov.d, inputs),
+                )
+            };
+            let cur = self.ff[i];
+            self.ff_next[i] = (sr & self.ff_init[i]) | (!sr & ((ce & d) | (!ce & cur)));
+        }
+
+        // BRAM port operations, in port order, write-first per lane.
+        // Lanes whose corrupted cone dropped the port are masked out of
+        // `en`, freezing both the output register and the content.
+        for bi in 0..self.net.brams.len() {
+            let b = &self.net.brams[bi];
+            let oi = self.bram_ov[bi];
+            let en = if oi == u32::MAX {
+                self.val(b.en, inputs)
+            } else {
+                self.oval(b.en, &self.bram_ovs[oi as usize].en, inputs)
+            } & self.bram_active[bi];
+            if en == 0 {
+                continue;
+            }
+            let we = if oi == u32::MAX {
+                self.val(b.we, inputs)
+            } else {
+                self.oval(b.we, &self.bram_ovs[oi as usize].we, inputs)
+            } & en;
+            let mut addr_w = [0u64; 8];
+            for (i, &a) in b.addr.iter().enumerate() {
+                addr_w[i] = if oi == u32::MAX {
+                    self.val(a, inputs)
+                } else {
+                    self.oval(a, &self.bram_ovs[oi as usize].addr[i], inputs)
+                };
+            }
+            let mut din_w = [0u64; 16];
+            if we != 0 {
+                for (i, &dsrc) in b.din.iter().enumerate() {
+                    din_w[i] = if oi == u32::MAX {
+                        self.val(dsrc, inputs)
+                    } else {
+                        self.oval(dsrc, &self.bram_ovs[oi as usize].din[i], inputs)
+                    };
+                }
+            }
+            let mi = self.port_mem[bi] as usize;
+            let oi = self.port_out[bi] as usize;
+            let mut new_out = self.bram_out[oi];
+            for lane in ones(en) {
+                let m = 1u64 << lane;
+                let mut a = 0usize;
+                for (i, w) in addr_w.iter().enumerate() {
+                    a |= (((w >> lane) & 1) as usize) << i;
+                }
+                let word = &mut self.mem[mi][a];
+                if we & m != 0 {
+                    for (k, plane) in word.iter_mut().enumerate() {
+                        *plane = (*plane & !m) | (din_w[k] & m);
+                    }
+                }
+                for (k, plane) in word.iter().enumerate() {
+                    new_out[k] = (new_out[k] & !m) | (plane & m);
+                }
+            }
+            self.bram_out[oi] = new_out;
+        }
+
+        // Run-time LUT writes (distributed RAM and SRL16). Frozen lanes
+        // (LUT outside the lane's corrupted cone) don't advance.
+        for li in 0..self.net.luts.len() {
+            if !self.net.luts[li].mode.is_dynamic() {
+                continue;
+            }
+            let oi = self.lut_ov[li];
+            let we = if oi == u32::MAX {
+                self.val(self.net.luts[li].we, inputs)
+            } else {
+                self.oval(self.net.luts[li].we, &self.lut_ovs[oi as usize].we, inputs)
+            } & self.lut_active[li];
+            if we == 0 {
+                continue;
+            }
+            let data = if oi == u32::MAX {
+                self.val(self.net.luts[li].data, inputs)
+            } else {
+                self.oval(
+                    self.net.luts[li].data,
+                    &self.lut_ovs[oi as usize].data,
+                    inputs,
+                )
+            };
+            match self.net.luts[li].mode {
+                LutMode::Ram => {
+                    let p = self.pin_words(li, inputs);
+                    for lane in ones(we) {
+                        let m = 1u64 << lane;
+                        let mut a = 0usize;
+                        for (i, w) in p.iter().enumerate() {
+                            a |= (((w >> lane) & 1) as usize) << i;
+                        }
+                        self.tab[li][a] = (self.tab[li][a] & !m) | (data & m);
+                    }
+                }
+                LutMode::Shift => {
+                    for k in (1..16).rev() {
+                        self.tab[li][k] = (self.tab[li][k] & !we) | (self.tab[li][k - 1] & we);
+                    }
+                    self.tab[li][0] = (self.tab[li][0] & !we) | (data & we);
+                }
+                _ => unreachable!(),
+            }
+        }
+
+        // Commit flip-flops; frozen lanes hold their value (the scalar
+        // corrupted compile dropped those FFs from the cone).
+        if self.has_reroute {
+            for i in 0..self.ff.len() {
+                let act = self.ff_active[i];
+                self.ff[i] = (self.ff[i] & !act) | (self.ff_next[i] & act);
+            }
+        } else {
+            self.ff.copy_from_slice(&self.ff_next);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bits::{
+        encode_wire, ff_dmux_offset, input_mux_offset, lut_table_offset, out_sel_offset,
+        outmux_offset, MuxPin, MUX_UNCONNECTED, MUX_UNCONNECTED_INV,
+    };
+    use crate::frames::IobEntry;
+    use crate::geometry::Dir;
+    use crate::{ConfigMemory, Edge, Geometry, Tile};
+
+    /// One XOR LUT routed west→east, as in the proptest designs.
+    fn tiny_design() -> Device {
+        let geom = Geometry::tiny();
+        let mut cm = ConfigMemory::new(geom.clone());
+        cm.write_iob(
+            Edge::West,
+            0,
+            0,
+            IobEntry {
+                enabled: true,
+                port: 0,
+                invert: false,
+            },
+        );
+        let t0 = Tile::new(0, 0);
+        cm.write_tile_field(t0, lut_table_offset(0, 0, 0), 16, 0x6996);
+        cm.write_tile_field(
+            t0,
+            input_mux_offset(0, MuxPin::LutPin { lut: 0, pin: 0 }),
+            8,
+            encode_wire(Dir::West, 0) as u64,
+        );
+        cm.write_tile_field(t0, ff_dmux_offset(0, 0), 1, 0);
+        cm.write_tile_field(
+            t0,
+            input_mux_offset(0, MuxPin::Cex),
+            8,
+            MUX_UNCONNECTED as u64,
+        );
+        cm.write_tile_field(
+            t0,
+            input_mux_offset(0, MuxPin::Srx),
+            8,
+            MUX_UNCONNECTED_INV as u64,
+        );
+        cm.write_tile_field(t0, out_sel_offset(0, 0), 1, 1);
+        cm.write_tile_field(t0, outmux_offset(Dir::East, 0), 4, 0b0001);
+        for col in 1..geom.cols {
+            let t = Tile::new(0, col);
+            cm.write_tile_field(
+                t,
+                crate::bits::pip_offset(Dir::East as usize * 24),
+                8,
+                1 | ((encode_wire(Dir::West, 0) as u64) << 1),
+            );
+        }
+        cm.write_iob(
+            Edge::East,
+            0,
+            0,
+            IobEntry {
+                enabled: true,
+                port: 0,
+                invert: false,
+            },
+        );
+        let mut dev = Device::new(geom);
+        dev.configure_full(&cm);
+        dev
+    }
+
+    #[test]
+    fn golden_lane_tracks_scalar() {
+        let mut dev = tiny_design();
+        let mut wide = WideEngine::new(&mut dev).expect("wide engine");
+        wide.load_batch(&[]);
+        let mut wout = Vec::new();
+        for c in 0..32 {
+            let iv = [c % 3 == 0];
+            let sout = dev.step(&iv);
+            wide.step(&iv, &mut wout);
+            assert_eq!(sout.len(), wout.len());
+            for (o, w) in wout.iter().enumerate() {
+                assert_eq!(*w & 1 == 1, sout[o], "cycle {c} output {o}");
+                // No corruption loaded: every lane must agree.
+                assert!(*w == 0 || *w == !0, "lanes diverged without faults");
+            }
+        }
+    }
+
+    #[test]
+    fn lut_table_lane_matches_scalar_flip() {
+        let mut dev = tiny_design();
+        let mut wide = WideEngine::new(&mut dev).expect("wide engine");
+        // Find a compiled LUT-table bit and run it in lane 1 vs scalar.
+        let mut probe = dev.clone();
+        let bit = probe
+            .active_config_bits()
+            .into_iter()
+            .find(|&b| {
+                matches!(
+                    wide.classify(&probe, b),
+                    WideClass::Lane(WideTarget::LutTable { .. })
+                )
+            })
+            .expect("a compiled LUT table bit");
+        let WideClass::Lane(target) = wide.classify(&probe, bit) else {
+            unreachable!()
+        };
+
+        let mut scalar = dev.clone();
+        scalar.flip_config_bit(bit);
+        wide.load_batch(&[target]);
+        let mut wout = Vec::new();
+        for c in 0..32 {
+            let iv = [c % 3 == 0];
+            let sout = scalar.step(&iv);
+            wide.step(&iv, &mut wout);
+            for (o, w) in wout.iter().enumerate() {
+                assert_eq!((*w >> 1) & 1 == 1, sout[o], "cycle {c} output {o}");
+            }
+        }
+        // Repair mid-stream and verify both converge.
+        scalar.flip_config_bit(bit);
+        wide.repair();
+        for c in 0..16 {
+            let iv = [c % 2 == 0];
+            let sout = scalar.step(&iv);
+            wide.step(&iv, &mut wout);
+            for (o, w) in wout.iter().enumerate() {
+                assert_eq!((*w >> 1) & 1 == 1, sout[o], "post-repair cycle {c}");
+            }
+        }
+    }
+}

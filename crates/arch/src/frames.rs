@@ -13,8 +13,8 @@
 //!   *live*: the running design writes it, which is why scrubbing must
 //!   treat these frames specially (paper §II-C, §IV).
 
-use crate::bitvec::BitVec;
 use crate::bits::{self, BitRole, FRAMES_PER_CLB_COL, TILE_BITS, TILE_BITS_PER_FRAME};
+use crate::bitvec::BitVec;
 use crate::geometry::{FrameLayout, Geometry, Tile, BRAM_BITS, WIRES_PER_DIR};
 
 /// Block type of a configuration frame.
@@ -116,7 +116,12 @@ pub enum BitLocus {
     /// A CLB tile bit with its decoded role.
     Clb { tile: Tile, role: BitRole },
     /// An IOB entry bit.
-    Iob { edge: Edge, row: u16, wire: u8, bit: u8 },
+    Iob {
+        edge: Edge,
+        row: u16,
+        wire: u8,
+        bit: u8,
+    },
     /// A BRAM interface bit.
     BramInterface { col: u16, block: u16, off: u16 },
     /// A BRAM content (data) bit.
@@ -202,7 +207,9 @@ impl ConfigMemory {
     pub fn frame_index(&self, addr: FrameAddr) -> usize {
         match addr.block {
             BlockType::Clb => addr.major as usize * FRAMES_PER_CLB_COL + addr.minor as usize,
-            BlockType::Iob => self.clb_frames + addr.major as usize * self.geom.rows + addr.minor as usize,
+            BlockType::Iob => {
+                self.clb_frames + addr.major as usize * self.geom.rows + addr.minor as usize
+            }
             BlockType::BramInterface => {
                 self.clb_frames
                     + self.iob_frames
@@ -271,8 +278,7 @@ impl ConfigMemory {
             }
             BlockType::BramInterface => {
                 self.bram_if_base
-                    + (addr.major as usize * self.geom.bram_blocks_per_col()
-                        + addr.minor as usize)
+                    + (addr.major as usize * self.geom.bram_blocks_per_col() + addr.minor as usize)
                         * BRAM_IF_BITS
             }
             BlockType::BramContent => {
@@ -340,7 +346,11 @@ impl ConfigMemory {
                 }
             }
             BlockType::Iob => BitLocus::Iob {
-                edge: if addr.major == 0 { Edge::West } else { Edge::East },
+                edge: if addr.major == 0 {
+                    Edge::West
+                } else {
+                    Edge::East
+                },
                 row: addr.minor as u16,
                 wire: (off / IOB_ENTRY_BITS) as u8,
                 bit: (off % IOB_ENTRY_BITS) as u8,
@@ -464,9 +474,7 @@ impl ConfigMemory {
     /// interface frame.
     pub fn bram_if_index(&self, col: usize, block: usize, off: usize) -> usize {
         debug_assert!(off < BRAM_IF_BITS);
-        self.bram_if_base
-            + (col * self.geom.bram_blocks_per_col() + block) * BRAM_IF_BITS
-            + off
+        self.bram_if_base + (col * self.geom.bram_blocks_per_col() + block) * BRAM_IF_BITS + off
     }
 
     pub fn read_bram_if_field(&self, col: usize, block: usize, off: usize, n: usize) -> u64 {

@@ -38,8 +38,10 @@ pub mod analysis;
 pub mod bits;
 pub mod bitvec;
 mod compile;
+pub mod delta;
 pub mod device;
 mod engine;
+pub mod engine_wide;
 pub mod frames;
 pub mod geometry;
 pub mod halflatch;
@@ -48,7 +50,9 @@ pub mod selectmap;
 pub mod time;
 
 pub use bitvec::BitVec;
+pub use delta::{DeltaClass, DeltaMap, LaneUpset};
 pub use device::{Bitstream, Device, NetworkStats};
+pub use engine_wide::{same_topology, WideClass, WideEngine, WideTarget, LANES};
 pub use frames::{BitLocus, BlockType, ConfigMemory, Edge, FrameAddr, IobEntry};
 pub use geometry::{Dir, Geometry, Tile};
 pub use halflatch::HlSite;

@@ -16,8 +16,8 @@
 //!   steals its address lines for a couple of cycles.
 //! * Readback of an unprogrammed device returns garbage.
 
-use crate::bits::{lut_mode_offset, lut_table_offset, FRAMES_PER_CLB_COL, TILE_BITS_PER_FRAME};
 use crate::bits::{ff_init_offset, LutMode};
+use crate::bits::{lut_mode_offset, lut_table_offset, FRAMES_PER_CLB_COL, TILE_BITS_PER_FRAME};
 use crate::device::{Bitstream, Device};
 use crate::frames::{BlockType, FrameAddr, BRAM_CONTENT_SUBFRAMES};
 use crate::geometry::Tile;
@@ -98,7 +98,8 @@ impl Device {
     pub fn partial_configure_frame(&mut self, addr: FrameAddr, data: &[u8]) -> SimDuration {
         self.config.write_frame(addr, data);
         self.invalidate();
-        self.port_timing.frame_op(self.config.frame_bytes(addr.block))
+        self.port_timing
+            .frame_op(self.config.frame_bytes(addr.block))
     }
 
     /// Readback: serialize one frame while the design runs.
@@ -107,7 +108,9 @@ impl Device {
         addr: FrameAddr,
         opts: ReadbackOptions,
     ) -> (Vec<u8>, SimDuration) {
-        let dur = self.port_timing.frame_op(self.config.frame_bytes(addr.block));
+        let dur = self
+            .port_timing
+            .frame_op(self.config.frame_bytes(addr.block));
         if !self.programmed {
             // The configuration FSM is upset: readback returns garbage.
             let n = self.config.frame_bytes(addr.block);
@@ -221,9 +224,8 @@ impl Device {
             for lut in 0..2 {
                 let table_off = lut_table_offset(slice, lut, 0);
                 // Does any of this LUT's 16 table bits live in this frame?
-                let hit = (0..16).any(|b| {
-                    self.config.tile_pos(table_off + b) / TILE_BITS_PER_FRAME == minor
-                });
+                let hit = (0..16)
+                    .any(|b| self.config.tile_pos(table_off + b) / TILE_BITS_PER_FRAME == minor);
                 if !hit {
                     continue;
                 }

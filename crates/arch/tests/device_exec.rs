@@ -68,7 +68,12 @@ fn path_config(geom: &Geometry, invert: bool, registered: bool) -> ConfigMemory 
         // an inverted half-latch (constant 0) — the CAD-tool default the
         // paper's Fig. 14 describes.
         cm.write_tile_field(t0, ff_dmux_offset(0, 0), 1, 0);
-        cm.write_tile_field(t0, input_mux_offset(0, MuxPin::Cex), 8, MUX_UNCONNECTED as u64);
+        cm.write_tile_field(
+            t0,
+            input_mux_offset(0, MuxPin::Cex),
+            8,
+            MUX_UNCONNECTED as u64,
+        );
         cm.write_tile_field(
             t0,
             input_mux_offset(0, MuxPin::Srx),
@@ -305,12 +310,7 @@ fn readback_matches_configuration_and_capture_shows_ff_state() {
         let global = dev.config().tile_bit_index(Tile::new(0, 0), init_off);
         dev.config().locate(global)
     };
-    let (cap, _) = dev.readback_frame(
-        addr,
-        ReadbackOptions {
-            capture_ff: true,
-        },
-    );
+    let (cap, _) = dev.readback_frame(addr, ReadbackOptions { capture_ff: true });
     assert_eq!(
         (cap[frame_off / 8] >> (frame_off % 8)) & 1,
         1,

@@ -24,8 +24,18 @@ fn srl_config(geom: &Geometry) -> ConfigMemory {
             MUX_UNCONNECTED as u64,
         );
     }
-    cm.write_tile_field(t, input_mux_offset(0, MuxPin::Bx), 8, MUX_UNCONNECTED as u64);
-    cm.write_tile_field(t, input_mux_offset(0, MuxPin::Srx), 8, MUX_UNCONNECTED as u64);
+    cm.write_tile_field(
+        t,
+        input_mux_offset(0, MuxPin::Bx),
+        8,
+        MUX_UNCONNECTED as u64,
+    );
+    cm.write_tile_field(
+        t,
+        input_mux_offset(0, MuxPin::Srx),
+        8,
+        MUX_UNCONNECTED as u64,
+    );
     cm.write_tile_field(t, out_sel_offset(0, 0), 1, 0);
     // Route across row 0 to the east edge.
     cm.write_tile_field(t, outmux_offset(Dir::East, 0), 4, 0b0001);
@@ -157,7 +167,11 @@ fn scrubbing_a_dynamic_frame_clobbers_runtime_state_rmw_problem() {
     let minors: std::collections::HashSet<usize> = (0..16)
         .map(|b| dev.config().tile_pos(lut_table_offset(0, 0, b)) / TILE_BITS_PER_FRAME)
         .collect();
-    assert_eq!(minors.len(), 16, "Virtex scatters table bits across 16 frames");
+    assert_eq!(
+        minors.len(),
+        16,
+        "Virtex scatters table bits across 16 frames"
+    );
     for minor in minors {
         let addr = FrameAddr::clb(0, minor);
         let golden = bs.read_frame(addr);

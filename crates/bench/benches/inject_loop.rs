@@ -89,5 +89,10 @@ fn bench_active_closure(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_single_injection, bench_campaign_chunk, bench_active_closure);
+criterion_group!(
+    benches,
+    bench_single_injection,
+    bench_campaign_chunk,
+    bench_active_closure
+);
 criterion_main!(benches);

@@ -46,8 +46,7 @@ fn main() {
             }
         }
         for (b, f) in payload.positions() {
-            payload.fpga_mut(b, f).manager.frame_overhead =
-                SimDuration::from_micros(overhead_us);
+            payload.fpga_mut(b, f).manager.frame_overhead = SimDuration::from_micros(overhead_us);
         }
         let stats = run_mission(
             &mut payload,

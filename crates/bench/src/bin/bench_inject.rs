@@ -1,0 +1,258 @@
+//! Machine-readable campaign-throughput baseline: scalar vs word-parallel
+//! fault injection, written to `BENCH_inject.json` so future changes can
+//! track the trajectory.
+//!
+//! For each geometry × design, runs the same exhaustive `ActiveClosure`
+//! campaign three ways and records experiments/second for each:
+//!
+//! * `scalar_seed` — the original campaign loop: a fresh `Device` clone
+//!   per experiment (dropping the compiled network, so every bit pays a
+//!   recompile) and the allocating `Device::step`. Kept as the historical
+//!   reference point for the speedup figures.
+//! * `scalar` — [`run_campaign`]: scratch-DUT reuse and the
+//!   allocation-free `step_into` hot path, one experiment at a time.
+//! * `wide` — [`run_campaign_wide`]: delta-classified upsets run 63 per
+//!   simulation pass in the word-parallel engine.
+//!
+//! The serial rows isolate the engine-level effect; the parallel rows
+//! measure the deployed configuration (rayon fan-out in all modes).
+//!
+//! Usage: `cargo run --release -p cibola-bench --bin bench_inject
+//!         [--out BENCH_inject.json] [--trace 96]`
+
+use std::collections::HashSet;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use cibola::designs::PaperDesign;
+use cibola::prelude::*;
+use cibola_bench::Args;
+use cibola_inject::SensitiveBit;
+use rayon::prelude::*;
+
+struct Row {
+    geometry: &'static str,
+    design: String,
+    mode: &'static str,
+    parallel: bool,
+    injections: usize,
+    inert_bits: usize,
+    sensitive: usize,
+    host_seconds: f64,
+    experiments_per_second: f64,
+}
+
+/// One experiment exactly as the seed campaign ran it: fresh DUT clone
+/// (compiled network dropped, so the flip triggers a full recompile) and
+/// the allocating `Device::step`.
+fn inject_one_seed(tb: &Testbed, cfg: &CampaignConfig, bit: usize) -> Option<SensitiveBit> {
+    let observe = cfg.observe_cycles.min(tb.stimulus.len());
+    let persist_end = (cfg.observe_cycles + cfg.persist_cycles).min(tb.stimulus.len());
+
+    let mut dut = tb.base.clone();
+    dut.flip_config_bit(bit);
+
+    let mut first_error: Option<u32> = None;
+    let mut mask = 0u128;
+    for c in 0..observe {
+        let out = dut.step(&tb.stimulus[c]);
+        let gold = &tb.golden[c];
+        if out != *gold {
+            first_error.get_or_insert(c as u32);
+            for (i, (a, b)) in out.iter().zip(gold.iter()).enumerate() {
+                if a != b && i < 128 {
+                    mask |= 1 << i;
+                }
+            }
+        }
+    }
+    dut.flip_config_bit(bit);
+
+    let first_error_cycle = first_error?;
+    let mut persistent = false;
+    if cfg.classify_persistence && persist_end > observe {
+        let mut last_mismatch: Option<usize> = None;
+        for c in observe..persist_end {
+            let out = dut.step(&tb.stimulus[c]);
+            if out != tb.golden[c] {
+                last_mismatch = Some(c);
+            }
+        }
+        persistent = match last_mismatch {
+            None => false,
+            Some(l) => l + cfg.persist_tail >= persist_end,
+        };
+    }
+    Some(SensitiveBit {
+        bit,
+        first_error_cycle,
+        output_mask: mask,
+        persistent,
+    })
+}
+
+/// Exhaustive active-closure campaign via the seed loop. Returns
+/// (injections, inert bits, sensitive set, host seconds).
+fn run_campaign_seed(tb: &Testbed, cfg: &CampaignConfig) -> (usize, usize, HashSet<usize>, f64) {
+    let mut probe = tb.base.clone();
+    let bits = probe.active_config_bits();
+    let inert = tb.base.config().total_bits() - bits.len();
+
+    let start = Instant::now();
+    let sensitive: Vec<SensitiveBit> = if cfg.parallel {
+        bits.par_iter()
+            .map_with((), |_, &b| inject_one_seed(tb, cfg, b))
+            .flatten()
+            .collect()
+    } else {
+        bits.iter()
+            .filter_map(|&b| inject_one_seed(tb, cfg, b))
+            .collect()
+    };
+    let host_seconds = start.elapsed().as_secs_f64();
+    let set = sensitive.iter().map(|s| s.bit).collect();
+    (bits.len(), inert, set, host_seconds)
+}
+
+fn measure(
+    geometry: &'static str,
+    geom: &Geometry,
+    design: PaperDesign,
+    trace: usize,
+    parallel: bool,
+    rows: &mut Vec<Row>,
+) -> (f64, f64) {
+    let nl = design.netlist();
+    let imp = implement(&nl, geom).unwrap();
+    let tb = Testbed::new(&imp, 0xC1B07A, trace);
+    let cfg = CampaignConfig {
+        observe_cycles: 64,
+        persist_cycles: 64,
+        persist_tail: 16,
+        classify_persistence: true,
+        selection: BitSelection::ActiveClosure,
+        parallel,
+        ..Default::default()
+    };
+
+    let (seed_inj, seed_inert, seed_set, seed_secs) = run_campaign_seed(&tb, &cfg);
+    let scalar = run_campaign(&tb, &cfg);
+    let wide = run_campaign_wide(&tb, &cfg);
+    assert_eq!(
+        scalar.sensitive_set(),
+        wide.sensitive_set(),
+        "wide and scalar campaigns must agree ({geometry}/{})",
+        design.label()
+    );
+    assert_eq!(
+        seed_set,
+        scalar.sensitive_set(),
+        "seed-loop and scalar campaigns must agree ({geometry}/{})",
+        design.label()
+    );
+
+    let mut push = |mode: &'static str, inj: usize, inert: usize, sens: usize, secs: f64| -> f64 {
+        let eps = inj as f64 / secs.max(1e-9);
+        rows.push(Row {
+            geometry,
+            design: design.label(),
+            mode,
+            parallel,
+            injections: inj,
+            inert_bits: inert,
+            sensitive: sens,
+            host_seconds: secs,
+            experiments_per_second: eps,
+        });
+        eps
+    };
+    let e = push(
+        "scalar_seed",
+        seed_inj,
+        seed_inert,
+        seed_set.len(),
+        seed_secs,
+    );
+    let s = push(
+        "scalar",
+        scalar.injections,
+        scalar.inert_bits,
+        scalar.sensitive.len(),
+        scalar.host_seconds,
+    );
+    let w = push(
+        "wide",
+        wide.injections,
+        wide.inert_bits,
+        wide.sensitive.len(),
+        wide.host_seconds,
+    );
+    println!(
+        "{geometry:<6} {:<18} parallel={parallel:<5} seed {e:>9.0} | scalar {s:>9.0} | wide {w:>9.0} exp/s | {:>5.1}x over scalar, {:>6.1}x over seed",
+        design.label(),
+        w / s,
+        w / e,
+    );
+    (w / s, w / e)
+}
+
+fn main() {
+    let args = Args::parse();
+    let out_path = args.get("--out").unwrap_or("BENCH_inject.json").to_string();
+    let trace = args.usize("--trace", 96);
+
+    let mut rows = Vec::new();
+    let mut speedups: Vec<(String, bool, f64, f64)> = Vec::new();
+
+    let tiny = Geometry::tiny();
+    let small = Geometry::small();
+    let cases: [(&'static str, &Geometry, PaperDesign); 3] = [
+        ("tiny", &tiny, PaperDesign::CounterAdder { width: 8 }),
+        ("small", &small, PaperDesign::CounterAdder { width: 16 }),
+        ("small", &small, PaperDesign::Mult { width: 5 }),
+    ];
+
+    for (gname, geom, design) in cases {
+        // Serial first: engine-vs-engine, no thread-pool noise.
+        let (s, e) = measure(gname, geom, design, trace, false, &mut rows);
+        speedups.push((format!("{gname}/{}", design.label()), false, s, e));
+        let (sp, ep) = measure(gname, geom, design, trace, true, &mut rows);
+        speedups.push((format!("{gname}/{}", design.label()), true, sp, ep));
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n  \"bench\": \"inject_campaign_throughput\",\n");
+    let _ = writeln!(json, "  \"unit\": \"experiments_per_second\",");
+    let _ = writeln!(json, "  \"trace_cycles\": {trace},");
+    json.push_str("  \"entries\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"geometry\": \"{}\", \"design\": \"{}\", \"mode\": \"{}\", \"parallel\": {}, \
+             \"injections\": {}, \"inert_bits\": {}, \"sensitive\": {}, \
+             \"host_seconds\": {:.4}, \"experiments_per_second\": {:.1}}}",
+            r.geometry,
+            r.design,
+            r.mode,
+            r.parallel,
+            r.injections,
+            r.inert_bits,
+            r.sensitive,
+            r.host_seconds,
+            r.experiments_per_second
+        );
+        json.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ],\n  \"speedups\": [\n");
+    for (i, (case, parallel, x, e)) in speedups.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"case\": \"{case}\", \"parallel\": {parallel}, \"wide_over_scalar\": {x:.2}, \"wide_over_seed\": {e:.2}}}"
+        );
+        json.push_str(if i + 1 < speedups.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n}\n");
+
+    std::fs::write(&out_path, json).expect("write BENCH_inject.json");
+    println!("wrote {out_path}");
+}

@@ -1,0 +1,87 @@
+use cibola::designs::PaperDesign;
+use cibola::prelude::*;
+use cibola_arch::{same_topology, DeltaClass, DeltaMap, WideEngine};
+use std::collections::HashMap;
+use std::time::Instant;
+
+fn main() {
+    let geom = Geometry::tiny();
+    let nl = PaperDesign::CounterAdder { width: 8 }.netlist();
+    let imp = implement(&nl, &geom).unwrap();
+    let tb = Testbed::new(&imp, 0xC1B07A, 96);
+    let mut probe = tb.base.clone();
+    let _wide = WideEngine::new(&mut probe).unwrap();
+    let delta = DeltaMap::build(&mut probe);
+    let bits = probe.active_config_bits();
+
+    let mut by_role: HashMap<&'static str, [usize; 3]> = HashMap::new();
+    let mut structural = Vec::new();
+    let t = Instant::now();
+    for &b in &bits {
+        let cls = delta.classify(&mut probe, b);
+        let role = match probe.config().describe(b) {
+            cibola_arch::BitLocus::Clb { role, .. } => match role {
+                cibola_arch::bits::BitRole::LutTable { .. } => "clb:lut_table",
+                cibola_arch::bits::BitRole::InputMux { .. } => "clb:input_mux",
+                cibola_arch::bits::BitRole::FfInit { .. } => "clb:ff_init",
+                cibola_arch::bits::BitRole::FfDmux { .. } => "clb:ff_dmux",
+                cibola_arch::bits::BitRole::OutSel { .. } => "clb:out_sel",
+                cibola_arch::bits::BitRole::LutModeBit { .. } => "clb:lut_mode",
+                cibola_arch::bits::BitRole::SliceReserved { .. } => "clb:reserved",
+                cibola_arch::bits::BitRole::OutMux { .. } => "clb:out_mux",
+                cibola_arch::bits::BitRole::Pip { .. } => "clb:pip",
+                cibola_arch::bits::BitRole::Pad => "clb:pad",
+            },
+            cibola_arch::BitLocus::Iob { .. } => "iob",
+            cibola_arch::BitLocus::BramInterface { .. } => "bram_if",
+            cibola_arch::BitLocus::BramContent { .. } => "bram_content",
+        };
+        let slot = by_role.entry(role).or_default();
+        match cls {
+            DeltaClass::Lane(_) => slot[0] += 1,
+            DeltaClass::Benign => slot[1] += 1,
+            DeltaClass::Structural => {
+                slot[2] += 1;
+                structural.push(b);
+            }
+        }
+    }
+    let classify_time = t.elapsed();
+
+    let mut v: Vec<_> = by_role.into_iter().collect();
+    v.sort_by_key(|&(_, n)| std::cmp::Reverse(n[0] + n[1] + n[2]));
+    println!(
+        "{:<16} {:>8} {:>8} {:>10}",
+        "role", "lane", "benign", "structural"
+    );
+    for (r, n) in v {
+        println!("{r:<16} {:>8} {:>8} {:>10}", n[0], n[1], n[2]);
+    }
+    println!(
+        "total={} classified in {:?} ({:?}/bit)",
+        bits.len(),
+        classify_time,
+        classify_time / bits.len().max(1) as u32
+    );
+
+    // Topology-equal rate among the remaining structural bits.
+    let t = Instant::now();
+    let mut golden = tb.base.clone();
+    let mut dut = tb.base.clone();
+    let mut equal = 0usize;
+    for &b in &structural {
+        dut.flip_config_bit(b);
+        if same_topology(&mut golden, &mut dut) {
+            equal += 1;
+        }
+        dut.flip_config_bit(b);
+    }
+    println!(
+        "structural={} topology_equal={} differ={} in {:?} ({:?}/bit)",
+        structural.len(),
+        equal,
+        structural.len() - equal,
+        t.elapsed(),
+        t.elapsed() / structural.len().max(1) as u32
+    );
+}

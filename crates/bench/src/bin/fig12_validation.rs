@@ -33,7 +33,10 @@ fn main() {
     let mut total_pred = 0usize;
     for (i, d) in [
         PaperDesign::CounterAdder { width: 6 },
-        PaperDesign::LfsrScaled { clusters: 2, bits: 10 },
+        PaperDesign::LfsrScaled {
+            clusters: 2,
+            bits: 10,
+        },
         PaperDesign::Mult { width: 5 },
     ]
     .into_iter()

@@ -16,7 +16,7 @@ fn main() {
 
     let nl = PaperDesign::CounterAdder { width }.netlist();
     let imp = implement(&nl, &geom).unwrap();
-    let tb = Testbed::new(&imp, 0xF16_7, 700);
+    let tb = Testbed::new(&imp, 0xF167, 700);
 
     // Find persistent bits with a quick campaign.
     let campaign = run_campaign(
@@ -56,7 +56,10 @@ fn main() {
         geom.name,
         imp.bitstream.describe(bit)
     );
-    println!("# upset @{} | scrub repair @{} | reset @{}", schedule.upset_at, schedule.repair_at, schedule.reset_at);
+    println!(
+        "# upset @{} | scrub repair @{} | reset @{}",
+        schedule.upset_at, schedule.repair_at, schedule.reset_at
+    );
     println!("cycle,expected,actual,mismatch");
     for p in &trace.points {
         if p.cycle >= 490 {

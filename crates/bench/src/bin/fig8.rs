@@ -21,8 +21,14 @@ fn main() {
     println!("loop cost model (simulated device time):");
     println!("  corrupt (partial reconfiguration): {}", timing.corrupt);
     println!("  repair:                            {}", timing.repair);
-    println!("  observe/log overhead:              {}", timing.observe_overhead);
-    println!("  per-bit total:                     {} (paper: 214 µs)", timing.per_bit());
+    println!(
+        "  observe/log overhead:              {}",
+        timing.observe_overhead
+    );
+    println!(
+        "  per-bit total:                     {} (paper: 214 µs)",
+        timing.per_bit()
+    );
     let flight_bits = 5_800_000u64;
     let flight = timing.per_bit() * flight_bits;
     println!(
@@ -33,7 +39,10 @@ fn main() {
 
     println!("\n# host-side throughput of this reproduction");
     for d in [
-        PaperDesign::LfsrScaled { clusters: 2, bits: 10 },
+        PaperDesign::LfsrScaled {
+            clusters: 2,
+            bits: 10,
+        },
         PaperDesign::Mult { width: 5 },
     ] {
         let nl = d.netlist();

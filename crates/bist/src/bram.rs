@@ -28,9 +28,7 @@ pub fn bram_bist(blocks: usize) -> Netlist {
     // The BRAM output register lags the address by one cycle.
     let addr_d = b.register(&addr);
 
-    let init: Vec<u16> = (0..256u32)
-        .map(|a| ((a << 8) | a) as u16)
-        .collect();
+    let init: Vec<u16> = (0..256u32).map(|a| ((a << 8) | a) as u16).collect();
 
     for _ in 0..blocks {
         let dout = b.bram(&addr, &[], Ctrl::Zero, Ctrl::One, init.clone());

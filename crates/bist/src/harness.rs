@@ -124,7 +124,12 @@ impl BistSuite {
 
 /// Inject `count` random stuck-at faults one at a time (hard faults are
 /// rare enough to be singletons) and measure suite coverage.
-pub fn coverage_campaign(geom: &Geometry, suite: &BistSuite, count: usize, seed: u64) -> BistCoverage {
+pub fn coverage_campaign(
+    geom: &Geometry,
+    suite: &BistSuite,
+    count: usize,
+    seed: u64,
+) -> BistCoverage {
     let mut rng = SmallRng::seed_from_u64(seed);
     let mut outcomes = Vec::with_capacity(count);
     let mut detected = 0usize;

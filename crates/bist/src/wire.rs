@@ -106,16 +106,20 @@ impl WireTest {
             cibola_arch::bits::MUX_UNCONNECTED_INV as u64,
         );
         cm.write_tile_field(t0, out_sel_offset(0, 0), 1, 1); // expose FF
-        // Drive the test wire and the loop wire from slice 0 output X.
+                                                             // Drive the test wire and the loop wire from slice 0 output X.
         cm.write_tile_field(t0, outmux_offset(Dir::East, w), 4, 0b0001);
         // Loop wire is above the outmux range: reach it through the
         // neighbour's turn-around PIP on the test row's spare wire.
-        cm.write_tile_field(t0, outmux_offset(Dir::East, (w + 1) % OUTMUX_WIRES_PER_DIR), 4, 0b0001);
+        cm.write_tile_field(
+            t0,
+            outmux_offset(Dir::East, (w + 1) % OUTMUX_WIRES_PER_DIR),
+            4,
+            0b0001,
+        );
         let t1 = Tile::new(row, 1);
         // Neighbour turns the spare wire around: outgoing west LOOP_WIRE ←
         // incoming west (w + 1).
-        let turn = 1u64
-            | ((encode_wire(Dir::West, (w + 1) % OUTMUX_WIRES_PER_DIR) as u64) << 1);
+        let turn = 1u64 | ((encode_wire(Dir::West, (w + 1) % OUTMUX_WIRES_PER_DIR) as u64) << 1);
         cm.write_tile_field(t1, pip_offset(Dir::West as usize * 24 + LOOP_WIRE), 8, turn);
 
         // Columns 1.. : inverter chain on wire `w`, each with a capture FF.
@@ -313,8 +317,16 @@ mod tests {
         );
         let report = wt.run(&mut dev);
         let hit: Vec<_> = report.faults.iter().filter(|f| f.wire == 7).collect();
-        assert_eq!(hit.len(), 1, "exactly the faulted wire fails: {:?}", report.faults);
-        assert_eq!(hit[0].first_bad_col, 4, "isolated to the column after the break");
+        assert_eq!(
+            hit.len(),
+            1,
+            "exactly the faulted wire fails: {:?}",
+            report.faults
+        );
+        assert_eq!(
+            hit[0].first_bad_col, 4,
+            "isolated to the column after the break"
+        );
         // Other wires are unaffected.
         assert!(report.faults.iter().all(|f| f.wire == 7));
     }

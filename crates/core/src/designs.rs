@@ -67,10 +67,18 @@ impl PaperDesign {
             x + (x % 2) // VMULT needs even widths
         };
         vec![
-            PaperDesign::Lfsr { clusters: s(18).max(1) },
-            PaperDesign::Lfsr { clusters: s(36).max(1) },
-            PaperDesign::Lfsr { clusters: s(54).max(1) },
-            PaperDesign::Lfsr { clusters: s(72).max(1) },
+            PaperDesign::Lfsr {
+                clusters: s(18).max(1),
+            },
+            PaperDesign::Lfsr {
+                clusters: s(36).max(1),
+            },
+            PaperDesign::Lfsr {
+                clusters: s(54).max(1),
+            },
+            PaperDesign::Lfsr {
+                clusters: s(72).max(1),
+            },
             PaperDesign::Vmult { width: e(18) },
             PaperDesign::Vmult { width: e(36) },
             PaperDesign::Vmult { width: e(54) },
@@ -116,7 +124,8 @@ mod tests {
             .chain(PaperDesign::table2_set(0.2))
         {
             let nl = d.netlist();
-            nl.validate().unwrap_or_else(|e| panic!("{}: {e}", d.label()));
+            nl.validate()
+                .unwrap_or_else(|e| panic!("{}: {e}", d.label()));
             assert!(nl.cells.len() > 4, "{} too small", d.label());
         }
     }

@@ -54,8 +54,8 @@ pub mod prelude {
     };
     pub use cibola_bist::{coverage_campaign, BistSuite, WireTest};
     pub use cibola_inject::{
-        beam_validation, capture_trace, run_campaign, BeamRunConfig, BitSelection, CampaignConfig,
-        CampaignResult, Testbed, TraceSchedule,
+        beam_validation, capture_trace, run_campaign, run_campaign_wide, BeamRunConfig,
+        BitSelection, CampaignConfig, CampaignResult, Testbed, TraceSchedule,
     };
     pub use cibola_mitigate::{remove_half_latches, selective_tmr, tmr, ConstSource};
     pub use cibola_netlist::{

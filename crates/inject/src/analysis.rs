@@ -13,12 +13,11 @@ use cibola_arch::bits::BitRole;
 use cibola_arch::{BitLocus, Bitstream};
 use cibola_netlist::place::CellSite;
 use cibola_netlist::{Implementation, Netlist};
-use serde::Serialize;
 
 use crate::campaign::CampaignResult;
 
 /// Sensitive-bit counts grouped by configuration-bit role.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct RoleBreakdown {
     /// role name → (sensitive bits, of which persistent).
     pub by_role: Vec<(String, usize, usize)>,
@@ -61,7 +60,7 @@ pub fn role_breakdown(result: &CampaignResult, golden: &Bitstream) -> RoleBreakd
         .into_iter()
         .map(|(k, (s, p))| (k.to_string(), s, p))
         .collect();
-    by_role.sort_by(|a, b| b.1.cmp(&a.1));
+    by_role.sort_by_key(|r| std::cmp::Reverse(r.1));
     RoleBreakdown { by_role }
 }
 

@@ -12,11 +12,12 @@
 
 use std::time::Instant;
 
-use cibola_arch::{Device, SimDuration};
+use cibola_arch::{
+    same_topology, DeltaClass, DeltaMap, Device, LaneUpset, SimDuration, WideEngine,
+};
 use rand::rngs::SmallRng;
 use rand::{seq::SliceRandom, SeedableRng};
 use rayon::prelude::*;
-use serde::Serialize;
 
 use crate::testbed::{InjectTiming, Testbed};
 
@@ -74,7 +75,7 @@ impl Default for CampaignConfig {
 }
 
 /// One sensitive configuration bit.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct SensitiveBit {
     /// Global configuration-bit index.
     pub bit: usize,
@@ -90,7 +91,7 @@ pub struct SensitiveBit {
 }
 
 /// Aggregate result of a campaign.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct CampaignResult {
     /// For sampled-closure campaigns: the closure size the sample was
     /// drawn from (0 otherwise).
@@ -191,19 +192,36 @@ pub fn inject_one_with(
     cfg: &CampaignConfig,
     bit: usize,
 ) -> Option<SensitiveBit> {
-    let observe = cfg.observe_cycles.min(tb.trace_len());
-    let persist_end = (cfg.observe_cycles + cfg.persist_cycles).min(tb.trace_len());
-
     // Corrupt: the simulator "partially reconfigures the DUT to load the
     // corrupted frame".
     dut.flip_config_bit(bit);
+    observe_and_classify(dut, tb, cfg, bit)
+}
+
+/// Observe window, repair, persistence pass and restore for a DUT whose
+/// configuration bit `bit` has *already* been flipped (and which may
+/// already be compiled — the wide campaign's structural path arrives here
+/// straight from a topology comparison, saving a recompile).
+fn observe_and_classify(
+    dut: &mut Device,
+    tb: &Testbed,
+    cfg: &CampaignConfig,
+    bit: usize,
+) -> Option<SensitiveBit> {
+    let observe = cfg.observe_cycles.min(tb.trace_len());
+    let persist_end = (cfg.observe_cycles + cfg.persist_cycles).min(tb.trace_len());
+
+    // One output buffer for the whole experiment: the observe and
+    // persistence windows run allocation-free, comparing against the
+    // golden trace in place.
+    let mut out: Vec<bool> = Vec::with_capacity(dut.num_outputs());
 
     let mut first_error: Option<u32> = None;
     let mut mask = 0u128;
     for c in 0..observe {
-        let out = dut.step(&tb.stimulus[c]);
+        dut.step_into(&tb.stimulus[c], &mut out);
         let gold = &tb.golden[c];
-        if out != *gold {
+        if out[..] != gold[..] {
             first_error.get_or_insert(c as u32);
             for (i, (a, b)) in out.iter().zip(gold.iter()).enumerate() {
                 if a != b && i < 128 {
@@ -224,8 +242,8 @@ pub fn inject_one_with(
         if cfg.classify_persistence && persist_end > observe {
             let mut last_mismatch: Option<usize> = None;
             for c in observe..persist_end {
-                let out = dut.step(&tb.stimulus[c]);
-                if out != tb.golden[c] {
+                dut.step_into(&tb.stimulus[c], &mut out);
+                if out[..] != tb.golden[c][..] {
                     last_mismatch = Some(c);
                 }
             }
@@ -256,8 +274,9 @@ pub fn inject_one_with(
     result
 }
 
-/// Run a full campaign.
-pub fn run_campaign(tb: &Testbed, cfg: &CampaignConfig) -> CampaignResult {
+/// Resolve `cfg.selection` into the concrete experiment list:
+/// `(bits to simulate, bits proven inert, exhaustive?, closure size)`.
+fn select_bits(tb: &Testbed, cfg: &CampaignConfig) -> (Vec<usize>, usize, bool, usize) {
     let total_bits = tb.total_bits();
     let mut closure_size = 0usize;
     let (bits, inert_bits, exhaustive): (Vec<usize>, usize, bool) = match &cfg.selection {
@@ -288,6 +307,26 @@ pub fn run_campaign(tb: &Testbed, cfg: &CampaignConfig) -> CampaignResult {
         }
         BitSelection::List(v) => (v.clone(), 0, false),
     };
+    (bits, inert_bits, exhaustive, closure_size)
+}
+
+/// Simulated campaign time for `tested` Fig. 8 loops of which
+/// `sensitive` needed a persistence pass — the paper's 214 µs/bit model.
+/// Inert bits were still "tested" on the real testbed, so they count too;
+/// this is what reproduces the paper's 20-minute exhaustive figure.
+fn campaign_sim_time(cfg: &CampaignConfig, tested: usize, sensitive: usize) -> SimDuration {
+    let mut sim_time = cfg.timing.per_bit() * tested as u64
+        + cfg.timing.cycles(cfg.observe_cycles) * tested as u64;
+    if cfg.classify_persistence {
+        sim_time += cfg.timing.cycles(cfg.persist_cycles) * sensitive as u64;
+    }
+    sim_time
+}
+
+/// Run a full campaign.
+pub fn run_campaign(tb: &Testbed, cfg: &CampaignConfig) -> CampaignResult {
+    let total_bits = tb.total_bits();
+    let (bits, inert_bits, exhaustive, closure_size) = select_bits(tb, cfg);
 
     let start = Instant::now();
     let sensitive: Vec<SensitiveBit> = if cfg.parallel {
@@ -308,15 +347,223 @@ pub fn run_campaign(tb: &Testbed, cfg: &CampaignConfig) -> CampaignResult {
     let mut sensitive = sensitive;
     sensitive.sort_by_key(|s| s.bit);
 
-    // Simulated time: every *tested* bit costs one Fig. 8 loop. Inert bits
-    // were still "tested" on the real testbed, so they count too — this is
-    // what reproduces the paper's 20-minute exhaustive figure.
-    let tested = bits.len() + inert_bits;
-    let mut sim_time = cfg.timing.per_bit() * tested as u64
-        + cfg.timing.cycles(cfg.observe_cycles) * tested as u64;
-    if cfg.classify_persistence {
-        sim_time += cfg.timing.cycles(cfg.persist_cycles) * sensitive.len() as u64;
+    let sim_time = campaign_sim_time(cfg, bits.len() + inert_bits, sensitive.len());
+
+    CampaignResult {
+        design: tb.report.name.clone(),
+        closure_size,
+        total_bits,
+        injections: bits.len(),
+        inert_bits,
+        slice_fraction: tb.report.slice_fraction(),
+        sensitive,
+        exhaustive,
+        sim_time,
+        host_seconds,
     }
+}
+
+// ---------------------------------------------------------------------------
+// Word-parallel campaign (PPSFP): 63 experiments per simulation pass.
+// ---------------------------------------------------------------------------
+
+#[inline]
+fn splat64(b: bool) -> u64 {
+    if b {
+        !0
+    } else {
+        0
+    }
+}
+
+/// Run one batch of lane-expressible experiments through the wide engine.
+/// `chunk` pairs each global bit index with its lane upset (state overlay
+/// or reroute); lane `i + 1` carries `chunk[i]` and lane 0 stays golden.
+/// Semantics mirror [`observe_and_classify`] exactly: observe window,
+/// repair (overlay removed / reroute dropped, dynamic state kept),
+/// persistence tail classification. Reroute lanes whose output vector
+/// changed shape diverge every observe cycle and compare only the ports
+/// they still drive, matching the scalar comparator's zip.
+fn run_wide_batch(
+    w: &mut WideEngine,
+    out: &mut Vec<u64>,
+    tb: &Testbed,
+    cfg: &CampaignConfig,
+    chunk: &[(usize, LaneUpset)],
+) -> Vec<SensitiveBit> {
+    use cibola_arch::LANES;
+
+    let observe = cfg.observe_cycles.min(tb.trace_len());
+    let persist_end = (cfg.observe_cycles + cfg.persist_cycles).min(tb.trace_len());
+
+    let upsets: Vec<LaneUpset> = chunk.iter().map(|(_, u)| u.clone()).collect();
+    w.load_batch_upsets(&upsets);
+    let len_diff = w.len_diff_mask();
+    let valid: Vec<u64> = w.out_valid_masks().to_vec();
+
+    let mut seen = 0u64;
+    let mut first = [0u32; LANES];
+    let mut mask = [0u128; LANES];
+    for c in 0..observe {
+        w.step(&tb.stimulus[c], out);
+        let gold = &tb.golden[c];
+        let mut diff = len_diff;
+        for (o, &word) in out.iter().enumerate() {
+            let d = (word ^ splat64(gold[o])) & valid[o];
+            if d != 0 {
+                diff |= d;
+                if o < 128 {
+                    let mut rem = d;
+                    while rem != 0 {
+                        let lane = rem.trailing_zeros() as usize;
+                        rem &= rem - 1;
+                        mask[lane] |= 1 << o;
+                    }
+                }
+            }
+        }
+        debug_assert_eq!(diff & 1, 0, "golden lane diverged from golden trace");
+        let mut fresh = diff & !seen;
+        while fresh != 0 {
+            let lane = fresh.trailing_zeros() as usize;
+            fresh &= fresh - 1;
+            first[lane] = c as u32;
+        }
+        seen |= diff;
+    }
+
+    // Repair every lane; dynamic state carries into the persistence pass.
+    w.repair();
+
+    let mut last = [usize::MAX; LANES];
+    if cfg.classify_persistence && persist_end > observe && seen != 0 {
+        for c in observe..persist_end {
+            w.step(&tb.stimulus[c], out);
+            let mut diff = 0u64;
+            for (o, &word) in out.iter().enumerate() {
+                diff |= word ^ splat64(tb.golden[c][o]);
+            }
+            debug_assert_eq!(diff & 1, 0, "golden lane diverged post-repair");
+            let mut rem = diff & seen;
+            while rem != 0 {
+                let lane = rem.trailing_zeros() as usize;
+                rem &= rem - 1;
+                last[lane] = c;
+            }
+        }
+    }
+
+    let mut results = Vec::new();
+    let mut rem = seen & !1;
+    while rem != 0 {
+        let lane = rem.trailing_zeros() as usize;
+        rem &= rem - 1;
+        let persistent = last[lane] != usize::MAX && last[lane] + cfg.persist_tail >= persist_end;
+        results.push(SensitiveBit {
+            bit: chunk[lane - 1].0,
+            first_error_cycle: first[lane],
+            output_mask: mask[lane],
+            persistent,
+        });
+    }
+    results
+}
+
+/// Run a full campaign on the word-parallel engine: identical results to
+/// [`run_campaign`], an order of magnitude faster.
+///
+/// Bits are triaged by [`DeltaMap::classify`], which re-traces only the
+/// network roots that actually read the flipped bit (recorded once per
+/// campaign) instead of recompiling:
+///
+/// * **Lane-expressible** — state bits of compiled elements (LUT tables,
+///   FF inits, BRAM content) as lane-masked XOR overlays, plus routing /
+///   mux / IOB upsets whose re-derived network stays within the golden
+///   node set, as lane-masked source overrides. Simulated 63 per pass.
+/// * **Provably benign** — bits the golden compile never reads (the
+///   corrupted compile then can't either), or whose re-derived network is
+///   identical. Counted, not simulated.
+/// * **Structural** — the corrupted network leaves the golden node set,
+///   re-modes a LUT, or breaks the golden topological order. Flipped and
+///   *recompiled*; if the corrupted topology equals the golden one the
+///   experiment is benign with no observe window at all, otherwise the
+///   scalar window runs on the already-compiled DUT.
+///
+/// Falls back to [`run_campaign`] wholesale when the design is outside
+/// the wide engine's domain (combinational cycles, locked BRAM,
+/// unprogrammed device).
+pub fn run_campaign_wide(tb: &Testbed, cfg: &CampaignConfig) -> CampaignResult {
+    let mut probe = tb.base.clone();
+    let Some(wide) = WideEngine::new(&mut probe) else {
+        return run_campaign(tb, cfg);
+    };
+    let delta = DeltaMap::build(&mut probe);
+
+    let total_bits = tb.total_bits();
+    let (bits, inert_bits, exhaustive, closure_size) = select_bits(tb, cfg);
+
+    let start = Instant::now();
+
+    let mut lane_bits: Vec<(usize, LaneUpset)> = Vec::new();
+    let mut structural: Vec<usize> = Vec::new();
+    for &b in &bits {
+        match delta.classify(&mut probe, b) {
+            DeltaClass::Lane(u) => lane_bits.push((b, u)),
+            DeltaClass::Benign => {}
+            DeltaClass::Structural => structural.push(b),
+        }
+    }
+
+    // Structural pass: one recompile decides most bits; only genuine
+    // topology changes pay for an observe window (already compiled).
+    let run_structural = |state: &mut (Device, Device), &b: &usize| -> Option<SensitiveBit> {
+        let (golden, dut) = state;
+        dut.flip_config_bit(b);
+        if same_topology(golden, dut) {
+            dut.flip_config_bit(b);
+            None
+        } else {
+            observe_and_classify(dut, tb, cfg, b)
+        }
+    };
+    let mut sensitive: Vec<SensitiveBit> = if cfg.parallel {
+        structural
+            .par_iter()
+            .map_with((tb.base.clone(), tb.base.clone()), run_structural)
+            .flatten()
+            .collect()
+    } else {
+        let mut state = (tb.base.clone(), tb.base.clone());
+        structural
+            .iter()
+            .filter_map(|b| run_structural(&mut state, b))
+            .collect()
+    };
+
+    // Lane pass: 63 experiments per batch.
+    let batches: Vec<&[(usize, LaneUpset)]> = lane_bits.chunks(wide.batch_capacity()).collect();
+    let lane_sensitive: Vec<SensitiveBit> = if cfg.parallel {
+        batches
+            .par_iter()
+            .map_with((wide.clone(), Vec::new()), |(w, out), chunk| {
+                run_wide_batch(w, out, tb, cfg, chunk)
+            })
+            .flatten()
+            .collect()
+    } else {
+        let mut w = wide.clone();
+        let mut out = Vec::new();
+        batches
+            .iter()
+            .flat_map(|chunk| run_wide_batch(&mut w, &mut out, tb, cfg, chunk))
+            .collect()
+    };
+    let host_seconds = start.elapsed().as_secs_f64();
+
+    sensitive.extend(lane_sensitive);
+    sensitive.sort_by_key(|s| s.bit);
+
+    let sim_time = campaign_sim_time(cfg, bits.len() + inert_bits, sensitive.len());
 
     CampaignResult {
         design: tb.report.name.clone(),

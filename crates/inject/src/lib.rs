@@ -23,7 +23,8 @@ pub mod validate;
 
 pub use analysis::{role_breakdown, selective_protect_set, sensitivity_by_cell, RoleBreakdown};
 pub use campaign::{
-    inject_one, inject_one_with, run_campaign, BitSelection, CampaignConfig, CampaignResult, SensitiveBit,
+    inject_one, inject_one_with, run_campaign, run_campaign_wide, BitSelection, CampaignConfig,
+    CampaignResult, SensitiveBit,
 };
 pub use testbed::{InjectTiming, Testbed};
 pub use trace::{capture_trace, ErrorTrace, TraceSchedule};

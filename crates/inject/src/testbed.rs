@@ -123,7 +123,10 @@ mod tests {
         // 5.8 Mbit at 214 µs/bit ≈ 20.7 minutes.
         let exhaustive = t.per_bit() * 5_800_000;
         let minutes = exhaustive.as_secs_f64() / 60.0;
-        assert!((minutes - 20.7).abs() < 0.2, "exhaustive time {minutes} min");
+        assert!(
+            (minutes - 20.7).abs() < 0.2,
+            "exhaustive time {minutes} min"
+        );
     }
 
     #[test]

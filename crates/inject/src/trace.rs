@@ -3,7 +3,6 @@
 //! bits need the reset.
 
 use cibola_arch::Device;
-use serde::Serialize;
 
 use crate::testbed::Testbed;
 
@@ -33,7 +32,7 @@ impl Default for TraceSchedule {
 }
 
 /// One captured cycle.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct TracePoint {
     pub cycle: usize,
     /// Golden output word (low 64 output bits).
@@ -44,7 +43,7 @@ pub struct TracePoint {
 }
 
 /// A captured error trace.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct ErrorTrace {
     pub bit: usize,
     pub points: Vec<TracePoint>,

@@ -16,7 +16,6 @@ use std::collections::HashSet;
 use cibola_arch::{Device, SimDuration, SimTime};
 use cibola_radiation::target::UpsetTarget;
 use cibola_radiation::ProtonBeam;
-use serde::Serialize;
 
 use crate::testbed::Testbed;
 
@@ -46,7 +45,7 @@ impl Default for BeamRunConfig {
 }
 
 /// Classified cause of one observed output-error event.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ErrorCause {
     /// A configuration bit the simulator's map marks sensitive: predicted.
     PredictedConfig,
@@ -58,7 +57,7 @@ pub enum ErrorCause {
 }
 
 /// Result of a beam validation run.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct ValidationResult {
     pub observations: usize,
     /// Upsets landed, by class.
@@ -146,7 +145,7 @@ pub fn beam_validation(
                 UpsetTarget::ConfigFsm => result.fsm_strikes += 1,
             }
             outstanding.push(t);
-            next_strike = next_strike + beam.next_strike_in();
+            next_strike += beam.next_strike_in();
         }
 
         // Run the designs at speed, comparing against the golden trace.

@@ -60,8 +60,14 @@ fn campaign_is_deterministic_and_parallel_agnostic() {
     cfg.parallel = false;
     let b = run_campaign(&tb, &cfg);
     assert_eq!(
-        a.sensitive.iter().map(|s| (s.bit, s.persistent)).collect::<Vec<_>>(),
-        b.sensitive.iter().map(|s| (s.bit, s.persistent)).collect::<Vec<_>>()
+        a.sensitive
+            .iter()
+            .map(|s| (s.bit, s.persistent))
+            .collect::<Vec<_>>(),
+        b.sensitive
+            .iter()
+            .map(|s| (s.bit, s.persistent))
+            .collect::<Vec<_>>()
     );
 }
 

@@ -1,0 +1,246 @@
+//! Differential equivalence of the word-parallel campaign: for any design
+//! and campaign configuration, [`run_campaign_wide`] must reproduce
+//! [`run_campaign`] *bit-for-bit* — the same sensitive set, the same
+//! first-error cycles, the same output masks, the same persistence
+//! classification, and the same bookkeeping (injections, inert bits,
+//! simulated time). The wide engine is an optimisation, never an
+//! approximation.
+
+use cibola_arch::Geometry;
+use cibola_inject::{
+    run_campaign, run_campaign_wide, BitSelection, CampaignConfig, CampaignResult, Testbed,
+};
+use cibola_netlist::{gen, implement, Ctrl, Netlist, NetlistBuilder};
+use proptest::prelude::*;
+
+/// A design exercising every dynamic resource the wide engine lane-packs:
+/// a free-running counter addressing a written LUT-RAM, an SRL16 delay
+/// line, and a BRAM port with write-through — the resources whose
+/// configuration the *running design* mutates, which is the hardest case
+/// for batched repair.
+fn dynamic_mix(width: usize, init: u16) -> Netlist {
+    let mut b = NetlistBuilder::new("dynamic-mix");
+    let din = b.input();
+    let q = gen::counter::counter_into(&mut b, width);
+    let wen = q[0];
+    let ram = b.lut_ram(&q[..2], din, wen, init);
+    let srl = b.srl16(&q[..2], din, Ctrl::Net(wen), !init);
+    let bram_init: Vec<u16> = (0..256u32)
+        .map(|i| (i as u16).wrapping_mul(0x9e37) ^ init)
+        .collect();
+    let addr: Vec<_> = q.iter().take(4).copied().collect();
+    let dout = b.bram(
+        &addr,
+        &[Some(din), Some(srl), Some(ram)],
+        Ctrl::Net(wen),
+        Ctrl::One,
+        bram_init,
+    );
+    b.output(ram);
+    b.output(srl);
+    b.outputs(&dout[..4]);
+    b.outputs(&q);
+    b.finish()
+}
+
+fn design(pick: usize, w: usize, init: u16) -> Netlist {
+    match pick % 4 {
+        0 => gen::counter_adder(2 + w % 4),
+        1 => gen::lfsr_cluster_with(1, 4 + w % 5, 2),
+        2 => gen::pipelined_multiplier(2 + w % 2),
+        _ => dynamic_mix(2 + w % 3, init),
+    }
+}
+
+/// Compare everything an experimenter can observe from the two results.
+fn assert_equivalent(scalar: &CampaignResult, wide: &CampaignResult) {
+    let key = |r: &CampaignResult| {
+        r.sensitive
+            .iter()
+            .map(|s| (s.bit, s.first_error_cycle, s.output_mask, s.persistent))
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(key(scalar), key(wide), "sensitive sets diverged");
+    assert_eq!(scalar.injections, wide.injections);
+    assert_eq!(scalar.inert_bits, wide.inert_bits);
+    assert_eq!(scalar.closure_size, wide.closure_size);
+    assert_eq!(scalar.total_bits, wide.total_bits);
+    assert_eq!(scalar.exhaustive, wide.exhaustive);
+    assert_eq!(scalar.sim_time, wide.sim_time, "sim-time model diverged");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Random designs × random campaign shapes, sampled within the
+    /// closure to keep each case affordable.
+    #[test]
+    fn wide_matches_scalar_sampled(
+        pick in 0usize..4,
+        w in 0usize..8,
+        init: u16,
+        seed: u64,
+        observe in 12usize..40,
+        persist in 0usize..32,
+        classify: bool,
+    ) {
+        let nl = design(pick, w, init);
+        let imp = implement(&nl, &Geometry::tiny()).unwrap();
+        let tb = Testbed::new(&imp, seed ^ 0xD1FF, 96);
+        let cfg = CampaignConfig {
+            observe_cycles: observe,
+            persist_cycles: persist,
+            persist_tail: 8,
+            classify_persistence: classify,
+            selection: BitSelection::SampleClosure { fraction: 0.2, seed },
+            parallel: true,
+            ..Default::default()
+        };
+        let scalar = run_campaign(&tb, &cfg);
+        let wide = run_campaign_wide(&tb, &cfg);
+        assert_equivalent(&scalar, &wide);
+    }
+}
+
+/// Exhaustive active-closure equivalence on the paper's Counter/Adder —
+/// the configuration the headline benchmark uses.
+#[test]
+fn wide_matches_scalar_exhaustive_counter() {
+    let nl = gen::counter_adder(4);
+    let imp = implement(&nl, &Geometry::tiny()).unwrap();
+    let tb = Testbed::new(&imp, 0xC1B07A, 96);
+    let cfg = CampaignConfig {
+        observe_cycles: 32,
+        persist_cycles: 24,
+        persist_tail: 8,
+        classify_persistence: true,
+        selection: BitSelection::ActiveClosure,
+        parallel: true,
+        ..Default::default()
+    };
+    let scalar = run_campaign(&tb, &cfg);
+    let wide = run_campaign_wide(&tb, &cfg);
+    assert!(
+        !wide.sensitive.is_empty(),
+        "a counter has sensitive bits; the equivalence must not be vacuous"
+    );
+    assert_equivalent(&scalar, &wide);
+}
+
+/// Exhaustive equivalence on the dynamic-state design: LUT-RAM, SRL16 and
+/// BRAM write-through all active, so batched corruption, lane repair and
+/// the full-restore path are all load-bearing.
+#[test]
+fn wide_matches_scalar_exhaustive_dynamic() {
+    let nl = dynamic_mix(3, 0xB7C3);
+    let imp = implement(&nl, &Geometry::tiny()).unwrap();
+    let tb = Testbed::new(&imp, 0x5EED, 96);
+    assert!(tb.has_dynamic_state, "design must exercise write-through");
+    let cfg = CampaignConfig {
+        observe_cycles: 32,
+        persist_cycles: 24,
+        persist_tail: 8,
+        classify_persistence: true,
+        selection: BitSelection::ActiveClosure,
+        parallel: true,
+        ..Default::default()
+    };
+    let scalar = run_campaign(&tb, &cfg);
+    let wide = run_campaign_wide(&tb, &cfg);
+    assert!(!wide.sensitive.is_empty());
+    assert_equivalent(&scalar, &wide);
+}
+
+/// The wide path must also agree on the full bitstream (`All`), where the
+/// benign-classification shortcuts carry the load.
+#[test]
+fn wide_matches_scalar_all_bits() {
+    let nl = gen::counter_adder(3);
+    let imp = implement(&nl, &Geometry::tiny()).unwrap();
+    let tb = Testbed::new(&imp, 7, 64);
+    let cfg = CampaignConfig {
+        observe_cycles: 20,
+        persist_cycles: 0,
+        classify_persistence: false,
+        selection: BitSelection::All,
+        parallel: true,
+        ..Default::default()
+    };
+    let scalar = run_campaign(&tb, &cfg);
+    let wide = run_campaign_wide(&tb, &cfg);
+    assert_equivalent(&scalar, &wide);
+}
+
+/// Equivalence under the Virtex-II frame layout, where tile bit indices
+/// are scattered across frames: the delta map's dependency recording works
+/// on global bit addresses, so the layout must be transparent to it.
+#[test]
+fn wide_matches_scalar_virtex2_layout() {
+    let nl = gen::counter_adder(4);
+    let imp = implement(&nl, &Geometry::tiny().with_virtex2_layout()).unwrap();
+    let tb = Testbed::new(&imp, 0xC1B07A, 96);
+    let cfg = CampaignConfig {
+        observe_cycles: 32,
+        persist_cycles: 24,
+        persist_tail: 8,
+        classify_persistence: true,
+        selection: BitSelection::ActiveClosure,
+        parallel: true,
+        ..Default::default()
+    };
+    let scalar = run_campaign(&tb, &cfg);
+    let wide = run_campaign_wide(&tb, &cfg);
+    assert!(!wide.sensitive.is_empty());
+    assert_equivalent(&scalar, &wide);
+}
+
+/// A sampled campaign on the small geometry: more tiles, longer routes,
+/// and a closure big enough that batching crosses many chunk boundaries.
+#[test]
+fn wide_matches_scalar_small_geometry() {
+    let nl = gen::counter_adder(12);
+    let imp = implement(&nl, &Geometry::small()).unwrap();
+    let tb = Testbed::new(&imp, 0x5CA1E, 96);
+    let cfg = CampaignConfig {
+        observe_cycles: 40,
+        persist_cycles: 24,
+        persist_tail: 8,
+        classify_persistence: true,
+        selection: BitSelection::SampleClosure {
+            fraction: 0.05,
+            seed: 0xFEED,
+        },
+        parallel: true,
+        ..Default::default()
+    };
+    let scalar = run_campaign(&tb, &cfg);
+    let wide = run_campaign_wide(&tb, &cfg);
+    assert!(!wide.sensitive.is_empty());
+    assert_equivalent(&scalar, &wide);
+}
+
+/// Serial and parallel wide campaigns agree (batching must not depend on
+/// thread scheduling).
+#[test]
+fn wide_parallel_agnostic() {
+    let nl = dynamic_mix(2, 0x1234);
+    let imp = implement(&nl, &Geometry::tiny()).unwrap();
+    let tb = Testbed::new(&imp, 0xAB, 80);
+    let mut cfg = CampaignConfig {
+        observe_cycles: 24,
+        persist_cycles: 16,
+        persist_tail: 8,
+        ..Default::default()
+    };
+    cfg.parallel = true;
+    let a = run_campaign_wide(&tb, &cfg);
+    cfg.parallel = false;
+    let b = run_campaign_wide(&tb, &cfg);
+    let key = |r: &CampaignResult| {
+        r.sensitive
+            .iter()
+            .map(|s| (s.bit, s.first_error_cycle, s.output_mask, s.persistent))
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(key(&a), key(&b));
+}

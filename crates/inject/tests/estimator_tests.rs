@@ -6,7 +6,11 @@ use cibola_inject::{
 };
 use cibola_netlist::{gen, implement};
 
-fn testbed() -> (Testbed, cibola_netlist::Implementation, cibola_netlist::Netlist) {
+fn testbed() -> (
+    Testbed,
+    cibola_netlist::Implementation,
+    cibola_netlist::Netlist,
+) {
     let nl = gen::counter_adder(5);
     let imp = implement(&nl, &Geometry::tiny()).unwrap();
     let tb = Testbed::new(&imp, 0xE57, 96);
@@ -62,7 +66,10 @@ fn sample_closure_failures_extrapolate() {
     // failures() scales the hit rate back to the whole bitstream.
     let expect = (est.sensitivity() * est.total_bits as f64).round() as usize;
     assert_eq!(est.failures(), expect);
-    assert!(est.failures() > est.sensitive.len(), "extrapolated beyond raw hits");
+    assert!(
+        est.failures() > est.sensitive.len(),
+        "extrapolated beyond raw hits"
+    );
 }
 
 #[test]

@@ -207,35 +207,70 @@ pub fn remove_half_latches(
             };
             match fix {
                 Fix::FfCe(c) => {
-                    let n = net_for(c, &mut out, &mut new_cells, &mut report, &mut const_one, &mut const_zero);
+                    let n = net_for(
+                        c,
+                        &mut out,
+                        &mut new_cells,
+                        &mut report,
+                        &mut const_one,
+                        &mut const_zero,
+                    );
                     if let Cell::Ff(f) = &mut out.cells[ci] {
                         f.ce = Ctrl::Net(n);
                     }
                     report.ce_rewired += 1;
                 }
                 Fix::FfSr(c) => {
-                    let n = net_for(c, &mut out, &mut new_cells, &mut report, &mut const_one, &mut const_zero);
+                    let n = net_for(
+                        c,
+                        &mut out,
+                        &mut new_cells,
+                        &mut report,
+                        &mut const_one,
+                        &mut const_zero,
+                    );
                     if let Cell::Ff(f) = &mut out.cells[ci] {
                         f.sr = Ctrl::Net(n);
                     }
                     report.sr_rewired += 1;
                 }
                 Fix::Wen(c) => {
-                    let n = net_for(c, &mut out, &mut new_cells, &mut report, &mut const_one, &mut const_zero);
+                    let n = net_for(
+                        c,
+                        &mut out,
+                        &mut new_cells,
+                        &mut report,
+                        &mut const_one,
+                        &mut const_zero,
+                    );
                     if let Cell::Lut(l) = &mut out.cells[ci] {
                         l.wen = Ctrl::Net(n);
                     }
                     report.wen_rewired += 1;
                 }
                 Fix::BramWe(c) => {
-                    let n = net_for(c, &mut out, &mut new_cells, &mut report, &mut const_one, &mut const_zero);
+                    let n = net_for(
+                        c,
+                        &mut out,
+                        &mut new_cells,
+                        &mut report,
+                        &mut const_one,
+                        &mut const_zero,
+                    );
                     if let Cell::Bram(b) = &mut out.cells[ci] {
                         b.we = Ctrl::Net(n);
                     }
                     report.bram_rewired += 1;
                 }
                 Fix::BramEn(c) => {
-                    let n = net_for(c, &mut out, &mut new_cells, &mut report, &mut const_one, &mut const_zero);
+                    let n = net_for(
+                        c,
+                        &mut out,
+                        &mut new_cells,
+                        &mut report,
+                        &mut const_one,
+                        &mut const_zero,
+                    );
                     if let Cell::Bram(b) = &mut out.cells[ci] {
                         b.en = Ctrl::Net(n);
                     }
@@ -245,7 +280,13 @@ pub fn remove_half_latches(
                     // Tie to constant 1 and keep the (replicated) table —
                     // the pin reading 1 selects the same half of an
                     // already-replicated table, so function is preserved.
-                    let n = get_one(&mut out, &mut new_cells, &mut report, source, &mut const_one);
+                    let n = get_one(
+                        &mut out,
+                        &mut new_cells,
+                        &mut report,
+                        source,
+                        &mut const_one,
+                    );
                     if let Cell::Lut(l) = &mut out.cells[ci] {
                         l.ins[p] = Some(n);
                     }

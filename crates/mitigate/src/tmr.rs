@@ -47,7 +47,11 @@ pub fn selective_tmr(nl: &Netlist, protect: &HashSet<usize>) -> (Netlist, TmrRep
     let mut out = Netlist::empty(&format!(
         "{} [TMR{}]",
         nl.name,
-        if protect.len() == nl.cells.len() { "" } else { "-sel" }
+        if protect.len() == nl.cells.len() {
+            ""
+        } else {
+            "-sel"
+        }
     ));
     let mut report = TmrReport::default();
 

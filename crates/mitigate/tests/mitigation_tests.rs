@@ -34,7 +34,12 @@ fn raddrc_lutrom_preserves_function_and_strips_half_latches() {
         gen::lfsr_cluster_with(1, 8, 3),
     ] {
         let (mit, report) = remove_half_latches(&nl, ConstSource::LutRom, true);
-        assert_eq!(mit.const_ctrl_pins(), 0, "{}: critical pins remain", nl.name);
+        assert_eq!(
+            mit.const_ctrl_pins(),
+            0,
+            "{}: critical pins remain",
+            nl.name
+        );
         assert!(report.total_rewired() > 0);
         assert!(report.const_cells_added >= 1);
         equivalent(&nl, &mit, 150, 11);

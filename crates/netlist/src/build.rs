@@ -154,7 +154,13 @@ impl NetlistBuilder {
     /// A flip-flop with explicit CE and SR connections.
     pub fn ff_full(&mut self, d: NetId, ce: Ctrl, sr: Ctrl, init: bool) -> NetId {
         let out = self.fresh();
-        self.nl.cells.push(Cell::Ff(FfCell { out, d, ce, sr, init }));
+        self.nl.cells.push(Cell::Ff(FfCell {
+            out,
+            d,
+            ce,
+            sr,
+            init,
+        }));
         out
     }
 

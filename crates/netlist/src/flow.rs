@@ -10,8 +10,8 @@ use cibola_arch::bits::{
     ff_dmux_offset, ff_init_offset, input_mux_offset, lut_mode_offset, lut_table_offset,
     out_sel_offset, MuxPin, MUX_FIELD_BITS, MUX_FLOATING, MUX_UNCONNECTED, MUX_UNCONNECTED_INV,
 };
-use cibola_arch::frames::{bram_if_addr_off, bram_if_din_off, BRAM_IF_EN_OFF, BRAM_IF_WE_OFF};
 use cibola_arch::frames::IobEntry;
+use cibola_arch::frames::{bram_if_addr_off, bram_if_din_off, BRAM_IF_EN_OFF, BRAM_IF_WE_OFF};
 use cibola_arch::geometry::WIRES_PER_DIR;
 use cibola_arch::{Bitstream, ConfigMemory, Edge, Geometry};
 
@@ -80,7 +80,11 @@ pub enum FlowError {
     Place(PlaceError),
     Route(RouteError),
     /// More ports than edge wires.
-    TooManyPorts { kind: &'static str, needed: usize, available: usize },
+    TooManyPorts {
+        kind: &'static str,
+        needed: usize,
+        available: usize,
+    },
 }
 
 impl std::fmt::Display for FlowError {
@@ -189,7 +193,13 @@ pub fn implement(nl: &Netlist, geom: &Geometry) -> Result<Implementation, FlowEr
                         };
                         cm.write_tile_field(
                             slot.tile,
-                            input_mux_offset(s, MuxPin::LutPin { lut: idx as u8, pin: p as u8 }),
+                            input_mux_offset(
+                                s,
+                                MuxPin::LutPin {
+                                    lut: idx as u8,
+                                    pin: p as u8,
+                                },
+                            ),
                             MUX_FIELD_BITS,
                             sel as u64,
                         );
@@ -329,26 +339,46 @@ pub fn implement(nl: &Netlist, geom: &Geometry) -> Result<Implementation, FlowEr
                 }
                 if l.mode.is_dynamic() {
                     if let Some(net) = l.wdata {
-                        let pin = if slot.idx == 0 { MuxPin::Bx } else { MuxPin::By };
+                        let pin = if slot.idx == 0 {
+                            MuxPin::Bx
+                        } else {
+                            MuxPin::By
+                        };
                         routes.push((net, Sink::SlicePin { slot, pin }));
                     }
                     if let Ctrl::Net(net) = l.wen {
-                        let pin = if slot.idx == 0 { MuxPin::Srx } else { MuxPin::Sry };
+                        let pin = if slot.idx == 0 {
+                            MuxPin::Srx
+                        } else {
+                            MuxPin::Sry
+                        };
                         routes.push((net, Sink::SlicePin { slot, pin }));
                     }
                 }
             }
             (Cell::Ff(ff), CellSite::Slot { slot, paired }) => {
                 if !paired {
-                    let pin = if slot.idx == 0 { MuxPin::Bx } else { MuxPin::By };
+                    let pin = if slot.idx == 0 {
+                        MuxPin::Bx
+                    } else {
+                        MuxPin::By
+                    };
                     routes.push((ff.d, Sink::SlicePin { slot, pin }));
                 }
                 if let Ctrl::Net(net) = ff.ce {
-                    let pin = if slot.idx == 0 { MuxPin::Cex } else { MuxPin::Cey };
+                    let pin = if slot.idx == 0 {
+                        MuxPin::Cex
+                    } else {
+                        MuxPin::Cey
+                    };
                     routes.push((net, Sink::SlicePin { slot, pin }));
                 }
                 if let Ctrl::Net(net) = ff.sr {
-                    let pin = if slot.idx == 0 { MuxPin::Srx } else { MuxPin::Sry };
+                    let pin = if slot.idx == 0 {
+                        MuxPin::Srx
+                    } else {
+                        MuxPin::Sry
+                    };
                     routes.push((net, Sink::SlicePin { slot, pin }));
                 }
             }

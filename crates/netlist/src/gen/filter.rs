@@ -109,7 +109,7 @@ mod tests {
         let nl = filter_preproc(taps, bits);
         let mut sim = NetlistSim::new(&nl);
         let n_out = nl.outputs.len() - 1; // last output is the decimation flag
-        // Impulse: x = 1 on the first cycle, 0 afterwards.
+                                          // Impulse: x = 1 on the first cycle, 0 afterwards.
         let mut response = Vec::new();
         for cycle in 0..16 {
             let iv: Vec<bool> = (0..bits).map(|i| cycle == 0 && i == 0).collect();
@@ -133,7 +133,7 @@ mod tests {
         let flag_idx = nl.outputs.len() - 1;
         let mut pulses = Vec::new();
         for cycle in 0..64 {
-            let out = sim.step(&vec![false; 3]);
+            let out = sim.step(&[false; 3]);
             if out[flag_idx] {
                 pulses.push(cycle);
             }

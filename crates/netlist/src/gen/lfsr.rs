@@ -167,7 +167,10 @@ mod tests {
         let trace: Vec<Vec<bool>> = (0..100).map(|_| sim.step(&[])).collect();
         for o in 0..3 {
             let ones = trace.iter().filter(|v| v[o]).count();
-            assert!(ones > 10 && ones < 90, "output {o} looks stuck ({ones}/100)");
+            assert!(
+                ones > 10 && ones < 90,
+                "output {o} looks stuck ({ones}/100)"
+            );
         }
         let mut sim2 = NetlistSim::new(&nl);
         let trace2: Vec<Vec<bool>> = (0..100).map(|_| sim2.step(&[])).collect();

@@ -66,12 +66,7 @@ pub fn vector_multiplier(n: usize) -> Netlist {
     let bb = b.inputs(n);
     let (alo, ahi) = (a[..h].to_vec(), a[h..].to_vec());
     let (blo, bhi) = (bb[..h].to_vec(), bb[h..].to_vec());
-    for (x, y) in [
-        (&alo, &blo),
-        (&alo, &bhi),
-        (&ahi, &blo),
-        (&ahi, &bhi),
-    ] {
+    for (x, y) in [(&alo, &blo), (&alo, &bhi), (&ahi, &blo), (&ahi, &bhi)] {
         let p = multiplier_into(&mut b, x, y);
         b.outputs(&p);
     }

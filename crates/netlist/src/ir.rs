@@ -76,6 +76,7 @@ pub struct BramCell {
 }
 
 /// A netlist cell.
+#[allow(clippy::large_enum_variant)] // BRAM init tables dominate; boxing would indirect every sim access
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Cell {
     Lut(LutCell),
@@ -120,15 +121,24 @@ impl Netlist {
     }
 
     pub fn lut_count(&self) -> usize {
-        self.cells.iter().filter(|c| matches!(c, Cell::Lut(_))).count()
+        self.cells
+            .iter()
+            .filter(|c| matches!(c, Cell::Lut(_)))
+            .count()
     }
 
     pub fn ff_count(&self) -> usize {
-        self.cells.iter().filter(|c| matches!(c, Cell::Ff(_))).count()
+        self.cells
+            .iter()
+            .filter(|c| matches!(c, Cell::Ff(_)))
+            .count()
     }
 
     pub fn bram_count(&self) -> usize {
-        self.cells.iter().filter(|c| matches!(c, Cell::Bram(_))).count()
+        self.cells
+            .iter()
+            .filter(|c| matches!(c, Cell::Bram(_)))
+            .count()
     }
 
     /// Count of constant-tied control pins — the half-latch sites the

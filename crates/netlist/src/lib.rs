@@ -18,5 +18,5 @@ pub mod verify;
 
 pub use build::NetlistBuilder;
 pub use flow::{implement, DesignReport, FlowError, Implementation};
-pub use ir::{Cell, Ctrl, Netlist, NetId};
+pub use ir::{Cell, Ctrl, NetId, Netlist};
 pub use sim::{NetlistSim, Stimulus};

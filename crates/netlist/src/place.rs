@@ -136,10 +136,7 @@ pub fn place(nl: &Netlist, geom: &Geometry) -> Result<Placement, PlaceError> {
         })
     });
 
-    let mut sites = vec![
-        CellSite::Bram { col: 0, block: 0 };
-        ncells
-    ];
+    let mut sites = vec![CellSite::Bram { col: 0, block: 0 }; ncells];
     let mut used_slices = std::collections::HashSet::new();
     let mut used_tiles = std::collections::HashSet::new();
     let mut next_bram = 0usize;
@@ -202,10 +199,18 @@ mod tests {
         b.output(q);
         let nl = b.finish();
         let p = place(&nl, &Geometry::tiny()).unwrap();
-        let CellSite::Slot { slot: s0, paired: p0 } = p.sites[0] else {
+        let CellSite::Slot {
+            slot: s0,
+            paired: p0,
+        } = p.sites[0]
+        else {
             panic!()
         };
-        let CellSite::Slot { slot: s1, paired: p1 } = p.sites[1] else {
+        let CellSite::Slot {
+            slot: s1,
+            paired: p1,
+        } = p.sites[1]
+        else {
             panic!()
         };
         assert_eq!(s0, s1);
@@ -223,8 +228,12 @@ mod tests {
         b.output(x); // LUT output also a port → no pairing
         let nl = b.finish();
         let p = place(&nl, &Geometry::tiny()).unwrap();
-        let CellSite::Slot { slot: s0, .. } = p.sites[0] else { panic!() };
-        let CellSite::Slot { slot: s1, .. } = p.sites[1] else { panic!() };
+        let CellSite::Slot { slot: s0, .. } = p.sites[0] else {
+            panic!()
+        };
+        let CellSite::Slot { slot: s1, .. } = p.sites[1] else {
+            panic!()
+        };
         assert_ne!(s0, s1);
     }
 
@@ -239,10 +248,7 @@ mod tests {
         }
         b.output(n);
         let nl = b.finish();
-        assert!(matches!(
-            place(&nl, &g),
-            Err(PlaceError::TooBig { .. })
-        ));
+        assert!(matches!(place(&nl, &g), Err(PlaceError::TooBig { .. })));
     }
 
     #[test]

@@ -7,11 +7,11 @@
 //! cross-section* includes its routing — the dominant contributor in the
 //! paper's Table I.
 
-use cibola_arch::bits::{
-    self, encode_wire, input_mux_offset, outmux_offset, pip_offset, MuxPin,
-};
+use cibola_arch::bits::{self, encode_wire, input_mux_offset, outmux_offset, pip_offset, MuxPin};
 use cibola_arch::frames::IobEntry;
-use cibola_arch::geometry::{Dir, Geometry, Tile, OUTMUX_WIRES_PER_DIR, WIRES_PER_DIR, WIRES_PER_TILE};
+use cibola_arch::geometry::{
+    Dir, Geometry, Tile, OUTMUX_WIRES_PER_DIR, WIRES_PER_DIR, WIRES_PER_TILE,
+};
 use cibola_arch::{ConfigMemory, Edge};
 
 use crate::ir::NetId;
@@ -108,7 +108,13 @@ impl<'a> Router<'a> {
     /// Find a usable outgoing wire at `tile` in `dir`: one this net already
     /// drives (reuse) or a free one. `need_outmux` restricts to
     /// output-multiplexer wires. Returns (index, reused).
-    fn find_wire(&self, tile: Tile, dir: Dir, net: NetId, need_outmux: bool) -> Option<(usize, bool)> {
+    fn find_wire(
+        &self,
+        tile: Tile,
+        dir: Dir,
+        net: NetId,
+        need_outmux: bool,
+    ) -> Option<(usize, bool)> {
         let limit = if need_outmux {
             OUTMUX_WIRES_PER_DIR
         } else {
@@ -184,10 +190,9 @@ impl<'a> Router<'a> {
         let (start, start_presence) = match source {
             Source::SliceOut { tile, .. } => (tile, Presence::AtSource(source)),
             Source::BramOut { home, .. } => (home, Presence::AtSource(source)),
-            Source::WestEdge { row, wire } => (
-                Tile::new(row as usize, 0),
-                Presence::In(Dir::West, wire),
-            ),
+            Source::WestEdge { row, wire } => {
+                (Tile::new(row as usize, 0), Presence::In(Dir::West, wire))
+            }
         };
         let (target, want_arrival) = match sink {
             Sink::SlicePin { slot, .. } => (slot.tile, Arrival::Incoming),
@@ -210,7 +215,9 @@ impl<'a> Router<'a> {
                 }
                 if let Ok((t2, p2)) = self.hop(start, d, start_presence, net) {
                     let (_, p3) = self.hop(t2, d.opposite(), p2, net)?;
-                    let Presence::In(dd, idx) = p3 else { unreachable!() };
+                    let Presence::In(dd, idx) = p3 else {
+                        unreachable!()
+                    };
                     self.connect_sink(sink, dd, idx);
                     return Ok(());
                 }
@@ -244,8 +251,7 @@ impl<'a> Router<'a> {
                 let Sink::EastEdge { row, port } = sink else {
                     unreachable!()
                 };
-                let need_outmux =
-                    matches!(presence, Presence::AtSource(Source::SliceOut { .. }));
+                let need_outmux = matches!(presence, Presence::AtSource(Source::SliceOut { .. }));
                 let Some((w, reused)) = self.find_wire(tile, Dir::East, net, need_outmux) else {
                     return Err(RouteError::EdgeFull { row });
                 };

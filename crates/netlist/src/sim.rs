@@ -163,7 +163,9 @@ impl NetlistSim {
         // Combinational settle in topological order.
         for oi in 0..self.order.len() {
             let ci = self.order[oi];
-            let Cell::Lut(l) = &self.nl.cells[ci] else { unreachable!() };
+            let Cell::Lut(l) = &self.nl.cells[ci] else {
+                unreachable!()
+            };
             let mut a = 0usize;
             for (p, pin) in l.ins.iter().enumerate() {
                 // Unused pins read half-latch constant 1, like the device.
@@ -197,29 +199,27 @@ impl NetlistSim {
                         cur
                     };
                 }
-                Cell::Lut(l) if l.mode.is_dynamic() => {
-                    if self.ctrl_val(l.wen) {
-                        let data = l.wdata.map_or(true, |n| self.vals[n.0 as usize]);
-                        let ti = self.lut_of_cell[ci];
-                        match l.mode {
-                            LutMode::Ram => {
-                                let mut a = 0usize;
-                                for (p, pin) in l.ins.iter().enumerate() {
-                                    if pin.map_or(true, |n| self.vals[n.0 as usize]) {
-                                        a |= 1 << p;
-                                    }
-                                }
-                                if data {
-                                    self.tables[ti] |= 1 << a;
-                                } else {
-                                    self.tables[ti] &= !(1 << a);
+                Cell::Lut(l) if l.mode.is_dynamic() && self.ctrl_val(l.wen) => {
+                    let data = l.wdata.map_or(true, |n| self.vals[n.0 as usize]);
+                    let ti = self.lut_of_cell[ci];
+                    match l.mode {
+                        LutMode::Ram => {
+                            let mut a = 0usize;
+                            for (p, pin) in l.ins.iter().enumerate() {
+                                if pin.map_or(true, |n| self.vals[n.0 as usize]) {
+                                    a |= 1 << p;
                                 }
                             }
-                            LutMode::Shift => {
-                                self.tables[ti] = (self.tables[ti] << 1) | data as u16;
+                            if data {
+                                self.tables[ti] |= 1 << a;
+                            } else {
+                                self.tables[ti] &= !(1 << a);
                             }
-                            _ => unreachable!(),
                         }
+                        LutMode::Shift => {
+                            self.tables[ti] = (self.tables[ti] << 1) | data as u16;
+                        }
+                        _ => unreachable!(),
                     }
                 }
                 Cell::Bram(b) => {

@@ -146,5 +146,8 @@ fn report_counts_are_consistent() {
     assert_eq!(r.ffs, nl.ff_count());
     assert!(r.slices_used > 0 && r.slices_used <= r.slice_total);
     assert!(r.route_hops >= r.nets - nl.inputs.len());
-    assert!(r.const_ctrl_pins >= nl.ff_count(), "every FF has CE+SR constants");
+    assert!(
+        r.const_ctrl_pins >= nl.ff_count(),
+        "every FF has CE+SR constants"
+    );
 }

@@ -46,7 +46,13 @@ fn high_fanout_nets_share_trunks() {
     }
     let folded = outs
         .chunks(2)
-        .map(|c| if c.len() == 2 { (c[0], Some(c[1])) } else { (c[0], None) })
+        .map(|c| {
+            if c.len() == 2 {
+                (c[0], Some(c[1]))
+            } else {
+                (c[0], None)
+            }
+        })
         .fold(None::<cibola_netlist::NetId>, |acc, (p, q)| {
             let v = match (acc, q) {
                 (None, Some(qq)) => b.xor2(p, qq),
@@ -75,7 +81,7 @@ fn high_fanout_nets_share_trunks() {
 #[test]
 fn dense_design_fills_most_of_the_device_and_still_routes() {
     let geom = Geometry::tiny(); // 256 slots
-    // A shift chain that occupies ≈85% of all slots.
+                                 // A shift chain that occupies ≈85% of all slots.
     let mut b = NetlistBuilder::new("dense");
     let x = b.input();
     let mut n = x;

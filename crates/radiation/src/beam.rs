@@ -199,7 +199,10 @@ mod tests {
             },
             8,
         );
-        assert_eq!(beam.advance_recovery(&mut dev, SimDuration::from_secs(1000)), 0);
+        assert_eq!(
+            beam.advance_recovery(&mut dev, SimDuration::from_secs(1000)),
+            0
+        );
         assert_eq!(dev.upset_half_latch_count(), 1);
     }
 }

@@ -49,7 +49,10 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(7);
         let rate = 4.0;
         let n = 20_000;
-        let mean: f64 = (0..n).map(|_| exp_interarrival(rate, &mut rng)).sum::<f64>() / n as f64;
+        let mean: f64 = (0..n)
+            .map(|_| exp_interarrival(rate, &mut rng))
+            .sum::<f64>()
+            / n as f64;
         assert!(
             (mean - 1.0 / rate).abs() < 0.01,
             "mean interarrival {mean} vs expected {}",

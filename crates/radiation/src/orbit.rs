@@ -69,8 +69,7 @@ impl OrbitRates {
         bits_per_device: usize,
         devices: usize,
     ) -> f64 {
-        rate_per_hour
-            / (sigma_bit_cm2 * bits_per_device as f64 * devices as f64 * SECS_PER_HOUR)
+        rate_per_hour / (sigma_bit_cm2 * bits_per_device as f64 * devices as f64 * SECS_PER_HOUR)
     }
 }
 
@@ -158,7 +157,10 @@ mod tests {
             "quiet/flare interarrival ratio {ratio}, expected ≈8"
         );
         // Quiet mean interarrival ≈ 3000 s (1.2/hour).
-        assert!((quiet_mean - 3000.0).abs() < 150.0, "quiet mean {quiet_mean}");
+        assert!(
+            (quiet_mean - 3000.0).abs() < 150.0,
+            "quiet mean {quiet_mean}"
+        );
     }
 
     #[test]

@@ -70,8 +70,7 @@ pub fn encode(data: u64) -> CodeWord {
         }
     }
     // Overall parity over data + the 7 check bits.
-    let overall =
-        (data.count_ones() + u32::from(check).count_ones()) & 1 == 1;
+    let overall = (data.count_ones() + u32::from(check).count_ones()) & 1 == 1;
     if overall {
         check |= 0x80;
     }
@@ -196,7 +195,7 @@ mod tests {
         let mut seen = std::collections::HashSet::new();
         for &p in pos.iter() {
             assert!(!p.is_power_of_two(), "data at check position {p}");
-            assert!(p >= 3 && p <= 71);
+            assert!((3..=71).contains(&p));
             assert!(seen.insert(p));
         }
     }

@@ -25,7 +25,7 @@ pub mod uplink;
 
 pub use crc::{crc32, Crc32};
 pub use ecc::{decode as ecc_decode, encode as ecc_encode, CodeWord, EccOutcome};
-pub use flash::{Eeprom, EccStats, Flash, FlashError};
+pub use flash::{EccStats, Eeprom, Flash, FlashError};
 pub use manager::{
     dynamic_bits_for, masked_frames_for, CorruptFrame, CrcCodebook, DynamicBitMask, FaultManager,
     ScanReport,

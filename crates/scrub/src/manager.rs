@@ -30,7 +30,9 @@ impl CrcCodebook {
             .frame_addrs()
             .map(|a| crc32(&golden.read_frame(a)))
             .collect();
-        let masked = (0..crcs.len()).map(|i| masked_frames.contains(&i)).collect();
+        let masked = (0..crcs.len())
+            .map(|i| masked_frames.contains(&i))
+            .collect();
         CrcCodebook { crcs, masked }
     }
 
@@ -261,8 +263,7 @@ pub fn dynamic_bits_for(golden: &Bitstream) -> DynamicBitMask {
     // Every BRAM content bit of enabled blocks is live.
     for bc in 0..geom.bram_cols {
         for block in 0..geom.bram_blocks_per_col() {
-            let en =
-                golden.read_bram_if_field(bc, block, cibola_arch::frames::BRAM_IF_EN_OFF, 8);
+            let en = golden.read_bram_if_field(bc, block, cibola_arch::frames::BRAM_IF_EN_OFF, 8);
             if en == 0 {
                 continue;
             }

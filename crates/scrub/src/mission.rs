@@ -15,7 +15,6 @@ use std::collections::{HashMap, HashSet};
 use cibola_arch::{SimDuration, SimTime};
 use cibola_radiation::target::{apply_upset, UpsetTarget};
 use cibola_radiation::{OrbitCondition, OrbitEnvironment, OrbitRates, TargetMix};
-use serde::Serialize;
 
 use crate::payload::Payload;
 
@@ -42,13 +41,13 @@ impl Default for MissionConfig {
             mix: TargetMix::default(),
             flare: None,
             periodic_full_reconfig: None,
-            seed: 0xC1B0_1A,
+            seed: 0xC1B01A,
         }
     }
 }
 
 /// Aggregate mission statistics.
-#[derive(Debug, Clone, Default, Serialize)]
+#[derive(Debug, Clone, Default)]
 pub struct MissionStats {
     pub upsets_total: usize,
     pub upsets_config: usize,
@@ -203,7 +202,7 @@ pub fn run_mission(
                 repairable,
             });
             dirty[di] = true;
-            next_upset = next_upset + env.next_upset_in();
+            next_upset += env.next_upset_in();
         }
 
         // Scrub every board (they run concurrently; the round already
@@ -284,11 +283,8 @@ pub fn run_mission(
         .sum();
 
     if !latencies.is_empty() {
-        stats.detect_latency_mean_ms = latencies
-            .iter()
-            .map(|d| d.as_millis_f64())
-            .sum::<f64>()
-            / latencies.len() as f64;
+        stats.detect_latency_mean_ms =
+            latencies.iter().map(|d| d.as_millis_f64()).sum::<f64>() / latencies.len() as f64;
         stats.detect_latency_max_ms = latencies
             .iter()
             .map(|d| d.as_millis_f64())

@@ -3,9 +3,8 @@
 //! storage, and one Actel-class fault manager per board.
 
 use cibola_arch::{Bitstream, Device, Geometry, SimDuration, SimTime};
-use serde::Serialize;
 
-use crate::flash::{Eeprom, EccStats, Flash};
+use crate::flash::{EccStats, Eeprom, Flash};
 use crate::manager::{masked_frames_for, CrcCodebook, FaultManager};
 
 /// Boards in the flight payload.
@@ -30,7 +29,7 @@ pub struct RccBoard {
 }
 
 /// A state-of-health event, downlinked to the ground station.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SohEvent {
     /// CRC mismatch found at (frame index).
     FrameCorrupt { frame_index: usize },
@@ -43,7 +42,7 @@ pub enum SohEvent {
 }
 
 /// A timestamped SOH record.
-#[derive(Debug, Clone, Copy, Serialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct SohRecord {
     pub time_ns: u64,
     pub board: usize,
@@ -161,8 +160,8 @@ impl Payload {
             let report = {
                 let f = &mut self.boards[board].fpgas[fi];
                 let mgr = f.manager.clone();
-                let r = mgr.scan(&mut f.device);
-                r
+
+                mgr.scan(&mut f.device)
             };
             out.duration += report.duration;
 

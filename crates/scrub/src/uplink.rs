@@ -37,10 +37,7 @@ impl GroundLink {
     /// Transfer time for a configuration image (uncompressed, as the
     /// paper's FLASH stores them).
     pub fn upload_time(&self, bs: &Bitstream) -> SimDuration {
-        let bytes: usize = bs
-            .frame_addrs()
-            .map(|a| bs.frame_bytes(a.block))
-            .sum();
+        let bytes: usize = bs.frame_addrs().map(|a| bs.frame_bytes(a.block)).sum();
         SimDuration::from_secs_f64(bytes as f64 * 8.0 / self.bits_per_second)
     }
 
@@ -67,10 +64,7 @@ impl GroundLink {
     /// diagnostic configuration on-board, given `flash_free` bytes, or to
     /// upload it when needed `uses` times?
     pub fn prefer_onboard(&self, bs: &Bitstream, flash_free: usize, uses: usize) -> bool {
-        let bytes: usize = bs
-            .frame_addrs()
-            .map(|a| bs.frame_bytes(a.block))
-            .sum();
+        let bytes: usize = bs.frame_addrs().map(|a| bs.frame_bytes(a.block)).sum();
         bytes <= flash_free && self.passes_for_uploads(bs, uses) >= 1
     }
 }

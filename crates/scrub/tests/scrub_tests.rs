@@ -201,10 +201,7 @@ fn mission_detects_and_repairs_under_flare_load() {
             devices: 9,
         },
         mix: TargetMix::default(),
-        flare: Some((
-            SimTime::from_secs(1800),
-            SimTime::from_secs(3600),
-        )),
+        flare: Some((SimTime::from_secs(1800), SimTime::from_secs(3600))),
         // Refresh every 15 minutes so half-latch upsets are bounded, as a
         // flight operations plan would.
         periodic_full_reconfig: Some(SimDuration::from_secs(900)),
@@ -226,7 +223,11 @@ fn mission_detects_and_repairs_under_flare_load() {
         stats.detect_latency_max_ms,
         stats.scan_cycle_ms
     );
-    assert!(stats.availability > 0.95, "availability {}", stats.availability);
+    assert!(
+        stats.availability > 0.95,
+        "availability {}",
+        stats.availability
+    );
     assert!(stats.soh_records > 0);
 
     // Every repairable upset was eventually cleaned.
@@ -298,8 +299,7 @@ fn rmw_repair_preserves_live_shift_data_while_fixing_static_bits() {
         .find(|&f| !mask.live_offsets(f).is_empty())
         .unwrap();
     let addr = imp.bitstream.frame_addr(fi);
-    let live: std::collections::HashSet<usize> =
-        mask.live_offsets(fi).iter().copied().collect();
+    let live: std::collections::HashSet<usize> = mask.live_offsets(fi).iter().copied().collect();
     let frame_bits = imp.bitstream.frame_bits(addr.block);
     let static_off = (0..frame_bits).find(|o| !live.contains(o)).unwrap();
     let global = imp.bitstream.frame_base(addr) + static_off;

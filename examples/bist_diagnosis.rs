@@ -4,8 +4,8 @@
 //!
 //! Run with: `cargo run --release -p cibola --example bist_diagnosis`
 
-use cibola::prelude::*;
 use cibola::arch::Dir;
+use cibola::prelude::*;
 
 fn main() {
     let geom = Geometry::tiny();

@@ -37,7 +37,10 @@ fn main() {
 
     // Fault-free sanity.
     let mut reference = NetlistSim::new(&nl);
-    assert_eq!(run_and_compare(&mut dev, &mut reference, nl.inputs.len(), 50), 0);
+    assert_eq!(
+        run_and_compare(&mut dev, &mut reference, nl.inputs.len(), 50),
+        0
+    );
 
     // A proton inverts one *critical* half-latch — a clock-enable keeper
     // (Fig. 14). Half-latches on unused LUT pins are non-critical thanks
@@ -57,7 +60,10 @@ fn main() {
 
     // Readback-compare sees a *clean* bitstream.
     let diffs = dev.config().diff(&imp.bitstream);
-    println!("bitstream diff vs golden: {} bits — scrubbing is blind to it", diffs.len());
+    println!(
+        "bitstream diff vs golden: {} bits — scrubbing is blind to it",
+        diffs.len()
+    );
 
     // Scrub every frame anyway: no effect.
     for addr in imp.bitstream.frame_addrs().collect::<Vec<_>>() {

@@ -61,19 +61,22 @@ fn main() {
             flare_per_hour: 960.0,
             devices: 9,
         },
-        flare: Some((
-            SimTime::from_secs(6 * 3600),
-            SimTime::from_secs(8 * 3600),
-        )),
+        flare: Some((SimTime::from_secs(6 * 3600), SimTime::from_secs(8 * 3600))),
         periodic_full_reconfig: Some(SimDuration::from_secs(3600)),
         ..Default::default()
     };
     let stats = run_mission(&mut payload, &cfg, &sensitivity);
 
     println!("\n── mission summary (24 h LEO, flare 06:00–08:00) ──");
-    println!("upsets: {} total ({} config, {} masked-frame, {} half-latch, {} user-FF, {} config-FSM)",
-        stats.upsets_total, stats.upsets_config, stats.upsets_config_masked,
-        stats.upsets_half_latch, stats.upsets_user_ff, stats.upsets_fsm);
+    println!(
+        "upsets: {} total ({} config, {} masked-frame, {} half-latch, {} user-FF, {} config-FSM)",
+        stats.upsets_total,
+        stats.upsets_config,
+        stats.upsets_config_masked,
+        stats.upsets_half_latch,
+        stats.upsets_user_ff,
+        stats.upsets_fsm
+    );
     println!(
         "scrubbing: {} frames repaired, {} full reconfigs, scan cycle {:.1} ms",
         stats.frames_repaired, stats.full_reconfigs, stats.scan_cycle_ms
@@ -92,16 +95,28 @@ fn main() {
         let t = SimTime(r.time_ns);
         match r.event {
             SohEvent::FrameCorrupt { frame_index } => {
-                println!("  {t} board {} fpga {} frame {frame_index} CORRUPT", r.board, r.fpga)
+                println!(
+                    "  {t} board {} fpga {} frame {frame_index} CORRUPT",
+                    r.board, r.fpga
+                )
             }
             SohEvent::FrameRepaired { frame_index } => {
-                println!("  {t} board {} fpga {} frame {frame_index} repaired", r.board, r.fpga)
+                println!(
+                    "  {t} board {} fpga {} frame {frame_index} repaired",
+                    r.board, r.fpga
+                )
             }
             SohEvent::FullReconfig => {
-                println!("  {t} board {} fpga {} FULL RECONFIGURATION", r.board, r.fpga)
+                println!(
+                    "  {t} board {} fpga {} FULL RECONFIGURATION",
+                    r.board, r.fpga
+                )
             }
             SohEvent::FlashCorrected { words } => {
-                println!("  {t} board {} fpga {} flash ECC corrected {words} word(s)", r.board, r.fpga)
+                println!(
+                    "  {t} board {} fpga {} flash ECC corrected {words} word(s)",
+                    r.board, r.fpga
+                )
             }
         }
     }

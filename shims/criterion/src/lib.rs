@@ -1,0 +1,210 @@
+//! Minimal vendored stand-in for `criterion`, covering the harness
+//! surface this workspace's benches use: `criterion_group!` /
+//! `criterion_main!`, `Criterion::{benchmark_group, bench_function}`,
+//! `BenchmarkGroup::{sample_size, throughput, bench_with_input,
+//! bench_function, finish}`, `BenchmarkId::from_parameter`, `Throughput`,
+//! and `Bencher::iter`.
+//!
+//! Measurement model: after a short warm-up, each benchmark body runs in
+//! adaptive batches until a time budget is spent; the report prints the
+//! mean per-iteration wall time (and derived throughput when declared).
+//! No statistics machinery, plots, or baselines — just stable numbers on
+//! stdout for quick regression eyeballing. The real analysis path for
+//! this repo is the `BENCH_*.json` emitters in `crates/bench`.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Declared work per iteration, used to derive throughput lines.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+/// A display-only benchmark identifier.
+pub struct BenchmarkId {
+    param: String,
+}
+
+impl BenchmarkId {
+    pub fn from_parameter<P: fmt::Display>(param: P) -> Self {
+        BenchmarkId {
+            param: param.to_string(),
+        }
+    }
+}
+
+/// Runs one benchmark body via `iter`.
+pub struct Bencher {
+    /// Mean wall time per iteration, filled in by `iter`.
+    mean: Duration,
+    iters: u64,
+    budget: Duration,
+}
+
+impl Bencher {
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut body: F) {
+        // Warm-up: also gives a cost estimate for batch sizing.
+        let warm_start = Instant::now();
+        std::hint::black_box(body());
+        std::hint::black_box(body());
+        let est = (warm_start.elapsed() / 2).max(Duration::from_nanos(1));
+
+        let mut total = Duration::ZERO;
+        let mut iters: u64 = 0;
+        let start = Instant::now();
+        while start.elapsed() < self.budget {
+            // Batch enough iterations that timer overhead stays small.
+            let batch = (Duration::from_millis(2).as_nanos() / est.as_nanos()).clamp(1, 10_000);
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(body());
+            }
+            total += t0.elapsed();
+            iters += batch as u64;
+        }
+        self.mean = total / iters.max(1) as u32;
+        self.iters = iters;
+    }
+}
+
+fn run_one(
+    full_name: &str,
+    budget: Duration,
+    throughput: Option<Throughput>,
+    f: impl FnOnce(&mut Bencher),
+) {
+    let mut b = Bencher {
+        mean: Duration::ZERO,
+        iters: 0,
+        budget,
+    };
+    f(&mut b);
+    let per_iter = b.mean.as_secs_f64();
+    let rate = if per_iter > 0.0 {
+        match throughput {
+            Some(Throughput::Bytes(n)) => format!(
+                " thrpt: {:.1} MiB/s",
+                n as f64 / per_iter / (1024.0 * 1024.0)
+            ),
+            Some(Throughput::Elements(n)) => {
+                format!(" thrpt: {:.0} elem/s", n as f64 / per_iter)
+            }
+            None => String::new(),
+        }
+    } else {
+        String::new()
+    };
+    println!(
+        "{full_name:<48} time: {:>12?} ({} iters){rate}",
+        b.mean, b.iters
+    );
+}
+
+/// Group of related benchmarks sharing a name prefix and settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    budget: Duration,
+    throughput: Option<Throughput>,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sample counts scale the time budget (loosely mirroring criterion).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.budget = Duration::from_millis((n as u64 * 3).clamp(30, 1000));
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.param);
+        run_one(&full, self.budget, self.throughput, |b| f(b, input));
+        self
+    }
+
+    pub fn bench_function<F: FnOnce(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, name);
+        run_one(&full, self.budget, self.throughput, f);
+        self
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+/// The top-level harness handle.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            budget: Duration::from_millis(150),
+            throughput: None,
+            _parent: self,
+        }
+    }
+
+    pub fn bench_function<F: FnOnce(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_one(name, Duration::from_millis(150), None, f);
+        self
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("shim_smoke");
+        group.sample_size(10);
+        group.throughput(Throughput::Elements(64));
+        group.bench_with_input(BenchmarkId::from_parameter("xor"), &0xffu8, |b, &m| {
+            b.iter(|| {
+                let mut acc = 0u8;
+                for i in 0..64u8 {
+                    acc ^= i & m;
+                }
+                acc
+            })
+        });
+        group.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn harness_runs() {
+        benches();
+        let mut c = Criterion::default();
+        c.bench_function("direct", |b| b.iter(|| 2 + 2));
+    }
+}

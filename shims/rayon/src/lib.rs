@@ -1,0 +1,172 @@
+//! Minimal vendored stand-in for `rayon`, covering the parallel-iterator
+//! surface this workspace uses: `par_iter()` over slices/Vecs with
+//! `map` / `map_with`, followed by `flatten` / `filter_map` / `collect`.
+//!
+//! Unlike real rayon (lazy, work-stealing deques), this shim evaluates the
+//! mapping stage eagerly on `std::thread::scope` workers that pull items
+//! from a shared atomic cursor — dynamic load balancing with per-thread
+//! state, which is what the fault-injection campaign actually needs.
+//! Results are returned in input order; downstream adaptors run serially
+//! on the already-computed values (they are cheap reductions here).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+pub mod prelude {
+    pub use crate::{IntoParallelRefIterator, ParIter, ParResults};
+}
+
+/// Number of worker threads to use for `n` items.
+fn worker_count(n: usize) -> usize {
+    std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(n)
+        .max(1)
+}
+
+/// Parallel map with one mutable state per worker thread. Items are pulled
+/// off a shared cursor so expensive items do not serialize behind a static
+/// partition. Output is restored to input order before returning.
+fn par_map_with<'data, T, S, R, F>(items: &'data [T], init: S, f: F) -> Vec<R>
+where
+    T: Sync,
+    S: Clone + Send,
+    R: Send,
+    F: Fn(&mut S, &'data T) -> R + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = worker_count(n);
+    if threads == 1 {
+        let mut state = init;
+        return items.iter().map(|t| f(&mut state, t)).collect();
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let f = &f;
+    let cursor = &cursor;
+    let mut tagged: Vec<(usize, R)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let mut state = init.clone();
+                scope.spawn(move || {
+                    let mut out = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        out.push((i, f(&mut state, &items[i])));
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("parallel worker panicked"))
+            .collect()
+    });
+    tagged.sort_unstable_by_key(|&(i, _)| i);
+    tagged.into_iter().map(|(_, r)| r).collect()
+}
+
+/// Entry point: `.par_iter()` on `&Vec<T>` / `&[T]`.
+pub trait IntoParallelRefIterator<'data> {
+    type Item: Sync + 'data;
+    fn par_iter(&'data self) -> ParIter<'data, Self::Item>;
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
+    type Item = T;
+    fn par_iter(&'data self) -> ParIter<'data, T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
+    type Item = T;
+    fn par_iter(&'data self) -> ParIter<'data, T> {
+        ParIter { items: self }
+    }
+}
+
+/// Borrowed parallel iterator over a slice.
+pub struct ParIter<'data, T> {
+    items: &'data [T],
+}
+
+impl<'data, T: Sync> ParIter<'data, T> {
+    pub fn map<R, F>(self, f: F) -> ParResults<R>
+    where
+        R: Send,
+        F: Fn(&'data T) -> R + Sync,
+    {
+        ParResults {
+            items: par_map_with(self.items, (), |_, t| f(t)),
+        }
+    }
+
+    pub fn map_with<S, R, F>(self, init: S, f: F) -> ParResults<R>
+    where
+        S: Clone + Send,
+        R: Send,
+        F: Fn(&mut S, &'data T) -> R + Sync,
+    {
+        ParResults {
+            items: par_map_with(self.items, init, f),
+        }
+    }
+}
+
+/// Already-computed results; the remaining adaptors are serial reductions.
+pub struct ParResults<R> {
+    items: Vec<R>,
+}
+
+impl<R> ParResults<R> {
+    pub fn flatten(self) -> ParResults<R::Item>
+    where
+        R: IntoIterator,
+    {
+        ParResults {
+            items: self.items.into_iter().flatten().collect(),
+        }
+    }
+
+    pub fn filter_map<U, F: FnMut(R) -> Option<U>>(self, f: F) -> ParResults<U> {
+        ParResults {
+            items: self.items.into_iter().filter_map(f).collect(),
+        }
+    }
+
+    pub fn collect<C: FromIterator<R>>(self) -> C {
+        self.items.into_iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_preserves_order() {
+        let v: Vec<usize> = (0..1000).collect();
+        let out: Vec<usize> = v.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(out, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn map_with_flatten_matches_serial() {
+        let v: Vec<u32> = (0..500).collect();
+        let par: Vec<u32> = v
+            .par_iter()
+            .map_with(3u32, |s, &x| if x % 2 == 0 { Some(x + *s) } else { None })
+            .flatten()
+            .collect();
+        let ser: Vec<u32> = v.iter().filter(|x| *x % 2 == 0).map(|x| x + 3).collect();
+        assert_eq!(par, ser);
+    }
+}

@@ -3,8 +3,8 @@
 //! agreement statistics land where the paper's did — high-90s percent,
 //! with the shortfall caused exclusively by hidden state.
 
-use cibola::prelude::*;
 use cibola::inject::ErrorCause;
+use cibola::prelude::*;
 
 fn campaign_map(
     imp: &Implementation,
@@ -50,7 +50,11 @@ fn config_only_beam_agrees_with_simulator() {
             ..Default::default()
         },
     );
-    assert!(result.error_count() > 10, "beam produced {} errors", result.error_count());
+    assert!(
+        result.error_count() > 10,
+        "beam produced {} errors",
+        result.error_count()
+    );
     assert_eq!(
         result.agreement(),
         1.0,

@@ -90,7 +90,10 @@ fn selective_tmr_guided_by_campaign_reduces_sensitivity() {
 
     // TMR triples area, so compare *normalized* sensitivity: failures per
     // occupied slice must drop decisively.
-    let (n_before, n_after) = (before.normalized_sensitivity(), after.normalized_sensitivity());
+    let (n_before, n_after) = (
+        before.normalized_sensitivity(),
+        after.normalized_sensitivity(),
+    );
     assert!(
         n_after < 0.5 * n_before,
         "TMR should cut normalized sensitivity: {n_before:.4} → {n_after:.4}"
@@ -199,5 +202,8 @@ fn self_checking_design_catches_what_readback_cannot() {
             break;
         }
     }
-    assert!(caught, "the MISR signature must expose the half-latch upset");
+    assert!(
+        caught,
+        "the MISR signature must expose the half-latch upset"
+    );
 }
