@@ -15,8 +15,10 @@ use crate::engine;
 use crate::frames::ConfigMemory;
 use crate::geometry::{Geometry, Tile};
 use crate::halflatch::{HalfLatches, HlSite};
+use std::collections::VecDeque;
+
 use crate::permfault::{FaultSite, PermFaults};
-use crate::selectmap::PortTiming;
+use crate::selectmap::{PortTiming, ReadFault, WriteFault};
 
 /// A full configuration image, as stored in the payload's FLASH module.
 pub type Bitstream = ConfigMemory;
@@ -61,6 +63,15 @@ pub struct Device {
     /// upset accidentally created a dynamic resource. Fault injectors use
     /// this to know a bit-repair alone cannot restore the image.
     pub(crate) design_wrote_config: bool,
+    /// Injected single-shot faults on the configuration port's read path
+    /// (SEFIs), consumed in order by [`Device::try_readback_frame`].
+    pub(crate) read_faults: VecDeque<ReadFault>,
+    /// Injected single-shot faults on the port's write path, consumed by
+    /// [`Device::try_partial_configure_frame`].
+    pub(crate) write_faults: VecDeque<WriteFault>,
+    /// The port is wedged (SelectMAP SEFI); every port operation fails
+    /// until [`Device::port_reset`].
+    pub(crate) port_wedged: bool,
     pub(crate) compiled: Option<Compiled>,
 }
 
@@ -81,6 +92,9 @@ impl Clone for Device {
             hazard_counter: self.hazard_counter,
             design_wrote_config: self.design_wrote_config,
             compile_all_state: self.compile_all_state,
+            read_faults: self.read_faults.clone(),
+            write_faults: self.write_faults.clone(),
+            port_wedged: self.port_wedged,
             // The compiled network is a cache; rebuild lazily in the clone.
             compiled: None,
         }
@@ -105,6 +119,9 @@ impl Device {
             hazard_counter: 0,
             design_wrote_config: false,
             compile_all_state: false,
+            read_faults: VecDeque::new(),
+            write_faults: VecDeque::new(),
+            port_wedged: false,
             compiled: None,
             config,
             geom,
@@ -204,6 +221,36 @@ impl Device {
     pub fn upset_config_fsm(&mut self) {
         self.programmed = false;
         self.compiled = None;
+    }
+
+    // ---- configuration-port faults (SEFIs) --------------------------------
+
+    /// Queue a single-shot fault on the port's read path; the next
+    /// [`Device::try_readback_frame`] consumes it.
+    pub fn inject_read_fault(&mut self, fault: ReadFault) {
+        self.read_faults.push_back(fault);
+    }
+
+    /// Queue a single-shot fault on the port's write path; the next
+    /// [`Device::try_partial_configure_frame`] consumes it.
+    pub fn inject_write_fault(&mut self, fault: WriteFault) {
+        self.write_faults.push_back(fault);
+    }
+
+    /// Wedge the configuration port immediately (a SEFI striking between
+    /// port operations). Recovered only by [`Device::port_reset`].
+    pub fn wedge_port(&mut self) {
+        self.port_wedged = true;
+    }
+
+    /// True while the configuration port is wedged by a SEFI.
+    pub fn is_port_wedged(&self) -> bool {
+        self.port_wedged
+    }
+
+    /// Injected port faults not yet consumed by a port operation.
+    pub fn pending_port_faults(&self) -> usize {
+        self.read_faults.len() + self.write_faults.len()
     }
 
     // ---- permanent faults --------------------------------------------------

@@ -57,5 +57,5 @@ pub use frames::{BitLocus, BlockType, ConfigMemory, Edge, FrameAddr, IobEntry};
 pub use geometry::{Dir, Geometry, Tile};
 pub use halflatch::HlSite;
 pub use permfault::FaultSite;
-pub use selectmap::{PortTiming, ReadbackOptions};
+pub use selectmap::{PortError, PortTiming, ReadFault, ReadbackOptions, WriteFault};
 pub use time::{SimDuration, SimTime};

@@ -60,6 +60,53 @@ pub struct ReadbackOptions {
     pub capture_ff: bool,
 }
 
+/// A single-shot injectable fault on the port's *read* path. SEFIs strike
+/// the SelectMAP interface and the configuration logic behind it — the
+/// scrubber's own eyes — so the fault-management loop must tolerate them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReadFault {
+    /// The next readback completes but returns corrupted bytes (the
+    /// configuration array itself is untouched).
+    Corrupt { bit_flips: u32 },
+    /// The next readback aborts mid-frame; no data is returned.
+    Abort,
+    /// The next readback wedges the port: every subsequent port operation
+    /// fails until [`Device::port_reset`].
+    Wedge,
+}
+
+/// A single-shot injectable fault on the port's *write* path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WriteFault {
+    /// The next frame write is acknowledged but silently dropped — the
+    /// configuration array keeps its old contents. Only verify-after-write
+    /// can catch this.
+    SilentDrop,
+    /// The next frame write wedges the port.
+    Wedge,
+}
+
+/// Why a fault-aware port operation failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PortError {
+    /// The port is wedged (SEFI); only a power-cycle of the configuration
+    /// interface ([`Device::port_reset`]) recovers it.
+    Wedged,
+    /// The operation aborted; retrying may succeed.
+    Aborted,
+}
+
+impl std::fmt::Display for PortError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PortError::Wedged => write!(f, "configuration port wedged (SEFI)"),
+            PortError::Aborted => write!(f, "configuration port operation aborted"),
+        }
+    }
+}
+
+impl std::error::Error for PortError {}
+
 impl Device {
     /// Full configuration: load every frame and run the start-up sequence.
     /// This is the only operation that re-initialises half-latches.
@@ -272,6 +319,97 @@ impl Device {
                 }
             }
         }
+    }
+
+    // ---- SEFI-aware port operations -------------------------------------
+    //
+    // The plain `readback_frame`/`partial_configure_frame` above model a
+    // perfect port and are kept for callers that inject no port faults
+    // (BIST, injection campaigns). Fault-tolerant flight software uses the
+    // `try_*` variants, which consume injected [`ReadFault`]/[`WriteFault`]
+    // events and surface a wedged port instead of assuming success. With no
+    // faults pending the `try_*` variants behave — and cost — exactly like
+    // the plain ones.
+
+    /// Fault-aware readback. Consumes at most one pending [`ReadFault`].
+    /// A wedged or aborted operation still charges port time (the flight
+    /// software discovers the failure by timeout).
+    pub fn try_readback_frame(
+        &mut self,
+        addr: FrameAddr,
+        opts: ReadbackOptions,
+    ) -> (Result<Vec<u8>, PortError>, SimDuration) {
+        let dur = self
+            .port_timing
+            .frame_op(self.config.frame_bytes(addr.block));
+        if self.port_wedged {
+            return (Err(PortError::Wedged), dur);
+        }
+        match self.read_faults.pop_front() {
+            Some(ReadFault::Abort) => (Err(PortError::Aborted), dur),
+            Some(ReadFault::Wedge) => {
+                self.port_wedged = true;
+                (Err(PortError::Wedged), dur)
+            }
+            Some(ReadFault::Corrupt { bit_flips }) => {
+                let (mut data, dur) = self.readback_frame(addr, opts);
+                let nbits = data.len() * 8;
+                for _ in 0..bit_flips {
+                    let mut s = self
+                        .hazard_counter
+                        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                        .wrapping_add(0x5EF1);
+                    s ^= s >> 29;
+                    self.hazard_counter = self.hazard_counter.wrapping_add(1);
+                    let bit = (s as usize) % nbits.max(1);
+                    data[bit / 8] ^= 1 << (bit % 8);
+                }
+                (Ok(data), dur)
+            }
+            None => {
+                let (data, dur) = self.readback_frame(addr, opts);
+                (Ok(data), dur)
+            }
+        }
+    }
+
+    /// Fault-aware partial configuration. Consumes at most one pending
+    /// [`WriteFault`]. A [`WriteFault::SilentDrop`] reports success without
+    /// touching the array — exactly the failure verify-after-write exists
+    /// to catch.
+    pub fn try_partial_configure_frame(
+        &mut self,
+        addr: FrameAddr,
+        data: &[u8],
+    ) -> (Result<(), PortError>, SimDuration) {
+        let dur = self
+            .port_timing
+            .frame_op(self.config.frame_bytes(addr.block));
+        if self.port_wedged {
+            return (Err(PortError::Wedged), dur);
+        }
+        match self.write_faults.pop_front() {
+            Some(WriteFault::SilentDrop) => (Ok(()), dur),
+            Some(WriteFault::Wedge) => {
+                self.port_wedged = true;
+                (Err(PortError::Wedged), dur)
+            }
+            None => {
+                let dur = self.partial_configure_frame(addr, data);
+                (Ok(()), dur)
+            }
+        }
+    }
+
+    /// Power-cycle the configuration interface (the simulated board-level
+    /// recovery of the escalation ladder): un-wedges the port and flushes
+    /// pending injected port faults. Configuration memory, user state and
+    /// half-latches are untouched.
+    pub fn port_reset(&mut self) -> SimDuration {
+        self.port_wedged = false;
+        self.read_faults.clear();
+        self.write_faults.clear();
+        SimDuration::from_nanos(self.port_timing.startup_ns)
     }
 
     /// Read back the whole device (every frame), returning total simulated

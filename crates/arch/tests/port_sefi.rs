@@ -1,0 +1,123 @@
+//! SEFI port-fault model: the fault-aware `try_*` SelectMAP operations
+//! must consume injected faults exactly once, surface a wedged port, and
+//! behave bit-identically to the plain operations when no faults are
+//! pending (the zero-cost guarantee the scrub loop relies on).
+
+use cibola_arch::{
+    ConfigMemory, Device, Geometry, PortError, ReadFault, ReadbackOptions, WriteFault,
+};
+
+fn programmed_device() -> (Device, ConfigMemory) {
+    let geom = Geometry::tiny();
+    let mut cm = ConfigMemory::new(geom.clone());
+    for i in (0..cm.total_bits()).step_by(53) {
+        cm.set_bit(i, true);
+    }
+    let mut dev = Device::new(geom);
+    dev.configure_full(&cm);
+    (dev, cm)
+}
+
+#[test]
+fn faultless_try_ops_match_plain_ops() {
+    let (mut dev, cm) = programmed_device();
+    let addr = cm.frame_addrs().next().unwrap();
+
+    let (plain, plain_d) = dev.readback_frame(addr, ReadbackOptions::default());
+    let (tried, tried_d) = dev.try_readback_frame(addr, ReadbackOptions::default());
+    assert_eq!(tried.as_deref().unwrap(), plain.as_slice());
+    assert_eq!(plain_d, tried_d, "same simulated port time");
+
+    let golden = cm.read_frame(addr);
+    let (res, wd) = dev.try_partial_configure_frame(addr, &golden);
+    assert!(res.is_ok());
+    assert_eq!(wd, dev.partial_configure_frame(addr, &golden));
+}
+
+#[test]
+fn read_faults_are_single_shot_and_ordered() {
+    let (mut dev, cm) = programmed_device();
+    let addr = cm.frame_addrs().next().unwrap();
+    let truth = cm.read_frame(addr);
+
+    dev.inject_read_fault(ReadFault::Abort);
+    dev.inject_read_fault(ReadFault::Corrupt { bit_flips: 2 });
+    assert_eq!(dev.pending_port_faults(), 2);
+
+    let (r1, _) = dev.try_readback_frame(addr, ReadbackOptions::default());
+    assert_eq!(r1.unwrap_err(), PortError::Aborted);
+
+    let (r2, _) = dev.try_readback_frame(addr, ReadbackOptions::default());
+    let corrupted = r2.unwrap();
+    assert_ne!(corrupted, truth, "corrupt readback lies");
+    // The configuration array itself was untouched by the lie.
+    assert_eq!(cm.read_frame(addr), truth);
+
+    // Faults consumed: the third read is clean.
+    let (r3, _) = dev.try_readback_frame(addr, ReadbackOptions::default());
+    assert_eq!(r3.unwrap(), truth);
+    assert_eq!(dev.pending_port_faults(), 0);
+}
+
+#[test]
+fn silent_drop_leaves_old_contents_but_reports_success() {
+    let (mut dev, cm) = programmed_device();
+    let addr = cm.frame_addrs().next().unwrap();
+    let before = dev.config().read_frame(addr);
+    let mut patched = before.clone();
+    patched[0] ^= 0xFF;
+
+    dev.inject_write_fault(WriteFault::SilentDrop);
+    let (res, _) = dev.try_partial_configure_frame(addr, &patched);
+    assert!(res.is_ok(), "the port acknowledges the dropped write");
+    assert_eq!(
+        dev.config().read_frame(addr),
+        before,
+        "array kept old contents — only verify-after-write can catch this"
+    );
+
+    // No fault pending: the same write now sticks.
+    let (res, _) = dev.try_partial_configure_frame(addr, &patched);
+    assert!(res.is_ok());
+    assert_eq!(dev.config().read_frame(addr), patched);
+}
+
+#[test]
+fn wedge_blocks_all_port_ops_until_reset() {
+    let (mut dev, cm) = programmed_device();
+    let addr = cm.frame_addrs().next().unwrap();
+    let golden = cm.read_frame(addr);
+
+    dev.inject_read_fault(ReadFault::Wedge);
+    let (r, _) = dev.try_readback_frame(addr, ReadbackOptions::default());
+    assert_eq!(r.unwrap_err(), PortError::Wedged);
+    assert!(dev.is_port_wedged());
+
+    // Every subsequent operation fails the same way.
+    let (r, _) = dev.try_readback_frame(addr, ReadbackOptions::default());
+    assert_eq!(r.unwrap_err(), PortError::Wedged);
+    let (w, _) = dev.try_partial_configure_frame(addr, &golden);
+    assert_eq!(w.unwrap_err(), PortError::Wedged);
+
+    // Power-cycling the port recovers it and flushes queued faults.
+    dev.inject_read_fault(ReadFault::Abort);
+    let d = dev.port_reset();
+    assert!(d.as_nanos() > 0, "a reset costs simulated time");
+    assert!(!dev.is_port_wedged());
+    assert_eq!(dev.pending_port_faults(), 0);
+    let (r, _) = dev.try_readback_frame(addr, ReadbackOptions::default());
+    assert_eq!(r.unwrap(), golden);
+    // User configuration survived the port power-cycle.
+    assert!(dev.is_programmed());
+}
+
+#[test]
+fn write_wedge_fault_wedges_on_the_write() {
+    let (mut dev, cm) = programmed_device();
+    let addr = cm.frame_addrs().next().unwrap();
+    let golden = cm.read_frame(addr);
+    dev.inject_write_fault(WriteFault::Wedge);
+    let (w, _) = dev.try_partial_configure_frame(addr, &golden);
+    assert_eq!(w.unwrap_err(), PortError::Wedged);
+    assert!(dev.is_port_wedged());
+}

@@ -20,11 +20,13 @@
 pub mod beam;
 pub mod ion;
 pub mod orbit;
+pub mod sefi;
 pub mod target;
 
 pub use beam::{BeamConfig, ProtonBeam};
 pub use ion::{xqvr_latchup_immune, WeibullCrossSection, SEL_IMMUNITY_LET};
 pub use orbit::{OrbitCondition, OrbitEnvironment, OrbitRates};
+pub use sefi::{SefiConfig, SefiKind, SefiMix, SefiProcess, SefiRates};
 pub use target::{TargetMix, UpsetTarget};
 
 /// Seconds per hour, for rate conversions.

@@ -1,0 +1,218 @@
+//! Single-event functional interrupts (SEFIs): upsets that strike the
+//! *fault-management machinery itself* rather than the application.
+//!
+//! The paper's scrubber (§II-A, Fig. 4) assumes its own plumbing is
+//! perfect, but on orbit the SelectMAP port can lock up, readback can
+//! return garbage or abort, frame writes can be silently dropped, the
+//! configuration state machine can unprogram the device, and the Actel's
+//! SRAM-resident CRC codebook is itself upsettable. SEFIs are far rarer
+//! than configuration-bit SEUs — their cross-section is orders of
+//! magnitude smaller — but a scrubber that cannot survive them wedges the
+//! whole payload. This module models them as a Poisson process with its
+//! own cross-section, independent of (and much slower than) the SEU
+//! process in [`crate::orbit`].
+
+use cibola_arch::SimDuration;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{exp_interarrival, OrbitCondition, SECS_PER_HOUR};
+
+/// What a SEFI strikes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SefiKind {
+    /// The next readback of the struck device returns corrupted bytes.
+    ReadbackCorrupt,
+    /// The next readback aborts mid-frame.
+    ReadbackAbort,
+    /// The next frame write is acknowledged but silently dropped.
+    WriteSilentDrop,
+    /// The SelectMAP port wedges until a power-cycle.
+    PortWedge,
+    /// The configuration state machine upsets: the device unprograms.
+    Unprogram,
+    /// A bit of the fault manager's SRAM-resident CRC codebook flips.
+    CodebookUpset,
+}
+
+/// Relative cross-sections of the SEFI classes. Readback-path upsets
+/// dominate (the scrubber reads continuously, so the read logic presents
+/// the largest time-integrated target), hard port wedges and FSM upsets
+/// are rare, and the codebook share scales with its SRAM footprint.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SefiMix {
+    pub readback_corrupt: f64,
+    pub readback_abort: f64,
+    pub write_silent_drop: f64,
+    pub port_wedge: f64,
+    pub unprogram: f64,
+    pub codebook_upset: f64,
+}
+
+impl Default for SefiMix {
+    fn default() -> Self {
+        SefiMix {
+            readback_corrupt: 0.30,
+            readback_abort: 0.15,
+            write_silent_drop: 0.20,
+            port_wedge: 0.10,
+            unprogram: 0.05,
+            codebook_upset: 0.20,
+        }
+    }
+}
+
+impl SefiMix {
+    fn total(&self) -> f64 {
+        self.readback_corrupt
+            + self.readback_abort
+            + self.write_silent_drop
+            + self.port_wedge
+            + self.unprogram
+            + self.codebook_upset
+    }
+
+    /// Sample a SEFI class proportionally to the mix weights.
+    pub fn sample(&self, rng: &mut impl Rng) -> SefiKind {
+        let mut r: f64 = rng.gen_range(0.0..self.total());
+        let classes = [
+            (self.readback_corrupt, SefiKind::ReadbackCorrupt),
+            (self.readback_abort, SefiKind::ReadbackAbort),
+            (self.write_silent_drop, SefiKind::WriteSilentDrop),
+            (self.port_wedge, SefiKind::PortWedge),
+            (self.unprogram, SefiKind::Unprogram),
+            (self.codebook_upset, SefiKind::CodebookUpset),
+        ];
+        for (w, k) in classes {
+            if r < w {
+                return k;
+            }
+            r -= w;
+        }
+        SefiKind::CodebookUpset
+    }
+}
+
+/// System-level SEFI rates (events per hour across the whole payload).
+/// The defaults put SEFIs ≈60× below the SEU rate, in line with measured
+/// Virtex SEFI-to-SEU cross-section ratios; flare conditions scale the
+/// rate by the same ≈8× factor as SEUs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SefiRates {
+    pub quiet_per_hour: f64,
+    pub flare_per_hour: f64,
+    /// Devices sharing the rate.
+    pub devices: usize,
+}
+
+impl Default for SefiRates {
+    fn default() -> Self {
+        SefiRates {
+            quiet_per_hour: 0.02,
+            flare_per_hour: 0.16,
+            devices: 9,
+        }
+    }
+}
+
+/// Everything a mission needs to drive the SEFI process: rates + mix.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SefiConfig {
+    pub rates: SefiRates,
+    pub mix: SefiMix,
+}
+
+/// A Poisson SEFI process over the payload, switchable between quiet and
+/// flare conditions — the fault-management-path sibling of
+/// [`crate::OrbitEnvironment`].
+#[derive(Debug, Clone)]
+pub struct SefiProcess {
+    pub rates: SefiRates,
+    pub mix: SefiMix,
+    pub condition: OrbitCondition,
+    rng: SmallRng,
+}
+
+impl SefiProcess {
+    pub fn new(cfg: SefiConfig, seed: u64) -> Self {
+        SefiProcess {
+            rates: cfg.rates,
+            mix: cfg.mix,
+            condition: OrbitCondition::Quiet,
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    pub fn set_condition(&mut self, c: OrbitCondition) {
+        self.condition = c;
+    }
+
+    /// Time until the next SEFI somewhere in the payload.
+    pub fn next_event_in(&mut self) -> SimDuration {
+        let rate_s = match self.condition {
+            OrbitCondition::Quiet => self.rates.quiet_per_hour,
+            OrbitCondition::SolarFlare => self.rates.flare_per_hour,
+        } / SECS_PER_HOUR;
+        SimDuration::from_secs_f64(exp_interarrival(rate_s, &mut self.rng))
+    }
+
+    /// Which device the SEFI strikes (uniform).
+    pub fn pick_device(&mut self) -> usize {
+        self.rng.gen_range(0..self.rates.devices)
+    }
+
+    /// What the SEFI strikes.
+    pub fn sample_kind(&mut self) -> SefiKind {
+        self.mix.sample(&mut self.rng)
+    }
+
+    /// Borrow the RNG (e.g. to pick which codebook entry/bit an upset
+    /// flips, keeping the whole event stream on one seeded source).
+    pub fn rng(&mut self) -> &mut SmallRng {
+        &mut self.rng
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mix_sampling_respects_weights() {
+        let mix = SefiMix::default();
+        let mut rng = SmallRng::seed_from_u64(3);
+        let n = 20_000;
+        let wedges = (0..n)
+            .filter(|_| matches!(mix.sample(&mut rng), SefiKind::PortWedge))
+            .count();
+        let frac = wedges as f64 / n as f64;
+        assert!((frac - 0.10).abs() < 0.02, "wedge fraction {frac}");
+    }
+
+    #[test]
+    fn sefi_interarrival_matches_rate() {
+        let mut p = SefiProcess::new(SefiConfig::default(), 9);
+        let n = 3000;
+        let mean: f64 = (0..n).map(|_| p.next_event_in().as_secs_f64()).sum::<f64>() / n as f64;
+        // 0.02/hour ⇒ mean interarrival 180 000 s.
+        assert!(
+            (mean - 180_000.0).abs() < 15_000.0,
+            "mean interarrival {mean}"
+        );
+        p.set_condition(OrbitCondition::SolarFlare);
+        let flare_mean: f64 =
+            (0..n).map(|_| p.next_event_in().as_secs_f64()).sum::<f64>() / n as f64;
+        assert!(flare_mean < mean / 4.0, "flare accelerates SEFIs");
+    }
+
+    #[test]
+    fn process_is_deterministic_for_a_seed() {
+        let mut a = SefiProcess::new(SefiConfig::default(), 77);
+        let mut b = SefiProcess::new(SefiConfig::default(), 77);
+        for _ in 0..100 {
+            assert_eq!(a.next_event_in(), b.next_event_in());
+            assert_eq!(a.pick_device(), b.pick_device());
+            assert_eq!(a.sample_kind(), b.sample_kind());
+        }
+    }
+}

@@ -39,6 +39,10 @@ pub struct Flash {
 }
 
 /// Errors from flash operations.
+///
+/// Non-exhaustive: flight storage grows new failure modes (wear-out,
+/// bus SEFIs), and adding one must not break downstream match arms.
+#[non_exhaustive]
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum FlashError {
     /// Store would exceed capacity.

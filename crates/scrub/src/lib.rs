@@ -31,5 +31,7 @@ pub use manager::{
     ScanReport,
 };
 pub use mission::{run_mission, MissionConfig, MissionStats};
-pub use payload::{Payload, ScrubOutcome, SohEvent, SohRecord, BOARDS, FPGAS_PER_BOARD};
+pub use payload::{
+    FpgaHealth, Payload, ScrubOutcome, ScrubPolicy, SohEvent, SohRecord, BOARDS, FPGAS_PER_BOARD,
+};
 pub use uplink::GroundLink;

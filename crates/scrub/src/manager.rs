@@ -11,15 +11,24 @@
 use std::collections::HashSet;
 
 use cibola_arch::bits::{lut_mode_offset, lut_table_offset, LutMode};
-use cibola_arch::{Bitstream, BlockType, Device, FrameAddr, ReadbackOptions, SimDuration, Tile};
+use cibola_arch::{
+    Bitstream, BlockType, Device, FrameAddr, PortError, ReadbackOptions, SimDuration, Tile,
+};
 
 use crate::crc::crc32;
 
 /// Per-frame golden CRCs, with a mask for frames the scrubber must skip.
+///
+/// The codebook lives in the Actel's SRAM, which is itself in the beam —
+/// so it is self-checked by a CRC over its own contents (CRC-of-CRCs).
+/// A failed [`CrcCodebook::self_check`] means the book must be rebuilt
+/// from the ECC-protected FLASH golden image before it can be trusted.
 #[derive(Debug, Clone)]
 pub struct CrcCodebook {
     crcs: Vec<u32>,
     masked: Vec<bool>,
+    /// CRC over `crcs` + `masked` — the book's own integrity check.
+    meta_crc: u32,
 }
 
 impl CrcCodebook {
@@ -30,10 +39,38 @@ impl CrcCodebook {
             .frame_addrs()
             .map(|a| crc32(&golden.read_frame(a)))
             .collect();
-        let masked = (0..crcs.len())
+        let masked: Vec<bool> = (0..crcs.len())
             .map(|i| masked_frames.contains(&i))
             .collect();
-        CrcCodebook { crcs, masked }
+        let meta_crc = Self::compute_meta(&crcs, &masked);
+        CrcCodebook {
+            crcs,
+            masked,
+            meta_crc,
+        }
+    }
+
+    fn compute_meta(crcs: &[u32], masked: &[bool]) -> u32 {
+        let mut bytes = Vec::with_capacity(crcs.len() * 4 + masked.len());
+        for c in crcs {
+            bytes.extend_from_slice(&c.to_le_bytes());
+        }
+        bytes.extend(masked.iter().map(|&m| m as u8));
+        crc32(&bytes)
+    }
+
+    /// Verify the book against its own CRC. Any SRAM upset to a stored
+    /// frame CRC or mask flag since construction makes this fail.
+    pub fn self_check(&self) -> bool {
+        Self::compute_meta(&self.crcs, &self.masked) == self.meta_crc
+    }
+
+    /// Flip one bit of a stored frame CRC (an SEU in the Actel's SRAM).
+    /// The meta CRC is deliberately left stale — that is what
+    /// [`CrcCodebook::self_check`] detects.
+    pub fn upset(&mut self, entry: usize, bit: usize) {
+        let n = self.crcs.len();
+        self.crcs[entry % n] ^= 1 << (bit % 32);
     }
 
     pub fn frame_count(&self) -> usize {
@@ -122,6 +159,11 @@ pub struct ScanReport {
     pub mismatch_fraction: f64,
     pub frames_scanned: usize,
     pub duration: SimDuration,
+    /// Frames whose readback aborted (SEFI); they were skipped this pass.
+    pub aborted_frames: usize,
+    /// The scan hit a wedged port and stopped early; the remaining frames
+    /// were not scanned. The port needs a reset before the next attempt.
+    pub wedged: bool,
 }
 
 impl ScanReport {
@@ -158,18 +200,37 @@ impl FaultManager {
         let mut corrupt = Vec::new();
         let mut duration = SimDuration::ZERO;
         let mut scanned = 0usize;
+        let mut aborted = 0usize;
+        let mut wedged = false;
         for (fi, addr) in addrs.into_iter().enumerate() {
             if self.codebook.is_masked(fi) {
                 continue;
             }
-            let (data, d) = dev.readback_frame(addr, ReadbackOptions::default());
-            duration += d + self.frame_overhead;
-            scanned += 1;
-            if crc32(&data) != self.codebook.crc(fi) {
-                corrupt.push(CorruptFrame {
-                    frame_index: fi,
-                    addr,
-                });
+            let (res, d) = dev.try_readback_frame(addr, ReadbackOptions::default());
+            match res {
+                Ok(data) => {
+                    duration += d + self.frame_overhead;
+                    scanned += 1;
+                    if crc32(&data) != self.codebook.crc(fi) {
+                        corrupt.push(CorruptFrame {
+                            frame_index: fi,
+                            addr,
+                        });
+                    }
+                }
+                Err(PortError::Aborted) => {
+                    // This frame is skipped this pass; the next scan
+                    // covers it.
+                    duration += d + self.frame_overhead;
+                    aborted += 1;
+                }
+                Err(PortError::Wedged) => {
+                    // The port is dead; stop scanning. The caller must
+                    // power-cycle the port and rescan.
+                    duration += d;
+                    wedged = true;
+                    break;
+                }
             }
         }
         ScanReport {
@@ -177,6 +238,8 @@ impl FaultManager {
             frames_scanned: scanned,
             corrupt,
             duration,
+            aborted_frames: aborted,
+            wedged,
         }
     }
 

@@ -12,13 +12,22 @@
 
 use std::collections::{HashMap, HashSet};
 
-use cibola_arch::{SimDuration, SimTime};
+use cibola_arch::{ReadFault, SimDuration, SimTime, WriteFault};
+use cibola_radiation::sefi::SefiRates;
 use cibola_radiation::target::{apply_upset, UpsetTarget};
-use cibola_radiation::{OrbitCondition, OrbitEnvironment, OrbitRates, TargetMix};
+use cibola_radiation::{
+    OrbitCondition, OrbitEnvironment, OrbitRates, SefiConfig, SefiKind, SefiProcess, TargetMix,
+};
+use rand::Rng;
 
 use crate::payload::Payload;
 
 /// Mission parameters.
+///
+/// Every stochastic stream in a mission — upset arrivals, strike targets,
+/// SEFI arrivals, codebook-upset placement — derives deterministically
+/// from `seed`, so any run (including a failing chaos run) can be replayed
+/// bit-for-bit from the seed alone.
 #[derive(Debug, Clone)]
 pub struct MissionConfig {
     pub duration: SimDuration,
@@ -30,6 +39,11 @@ pub struct MissionConfig {
     /// with the start-up sequence) — the only mechanism that heals
     /// half-latch upsets (paper §III-C). `None` disables refresh.
     pub periodic_full_reconfig: Option<SimDuration>,
+    /// Optional SEFI process striking the fault-management path itself:
+    /// the configuration port, the configuration FSM, and the Actel's
+    /// SRAM-resident CRC codebook. `None` (the default) disables it and
+    /// leaves the mission bit-identical to the SEFI-free simulator.
+    pub sefi: Option<SefiConfig>,
     pub seed: u64,
 }
 
@@ -41,13 +55,15 @@ impl Default for MissionConfig {
             mix: TargetMix::default(),
             flare: None,
             periodic_full_reconfig: None,
+            sefi: None,
             seed: 0xC1B01A,
         }
     }
 }
 
-/// Aggregate mission statistics.
-#[derive(Debug, Clone, Default)]
+/// Aggregate mission statistics. `PartialEq` so replay-from-seed runs can
+/// be asserted bit-identical.
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct MissionStats {
     pub upsets_total: usize,
     pub upsets_config: usize,
@@ -76,6 +92,32 @@ pub struct MissionStats {
     pub outstanding_half_latches: usize,
     pub soh_records: usize,
     pub elapsed_s: f64,
+
+    // ---- fault-management-path (SEFI) accounting ----
+    /// SEFIs injected by the environment, total and per class.
+    pub sefis_injected: usize,
+    pub sefi_readback_corrupt: usize,
+    pub sefi_readback_abort: usize,
+    pub sefi_write_silent: usize,
+    pub sefi_port_wedge: usize,
+    pub sefi_unprogram: usize,
+    pub codebook_upsets: usize,
+    /// Port SEFIs the scrub machinery actually observed (aborts, wedges).
+    pub sefis_observed: usize,
+    /// Verify-after-write retries performed by the scrubber.
+    pub repair_retries: usize,
+    /// Verify-after-write mismatches seen.
+    pub verify_failures: usize,
+    /// Codebook self-check failures repaired from FLASH.
+    pub codebook_rebuilds: usize,
+    /// Configuration-port power-cycles (escalation rung 4).
+    pub port_resets: usize,
+    /// Frames whose bounded repair attempts all failed and escalated.
+    pub frames_escalated: usize,
+    /// Golden fetches skipped on uncorrectable FLASH ECC errors.
+    pub golden_uncorrectable: usize,
+    /// Devices taken out of the scrub rotation (escalation rung 5).
+    pub devices_degraded: usize,
 }
 
 /// An outstanding fault on one device.
@@ -106,10 +148,25 @@ pub fn run_mission(
     };
     let mut env = OrbitEnvironment::new(rates, cfg.seed);
 
+    // The SEFI process gets its own RNG stream, derived from the mission
+    // seed, so enabling it never perturbs the SEU stream (and a run with
+    // `sefi: None` is bit-identical to the pre-SEFI simulator).
+    let mut sefi = cfg.sefi.map(|c| {
+        let rates = SefiRates {
+            devices: ndev,
+            ..c.rates
+        };
+        SefiProcess::new(
+            SefiConfig { rates, mix: c.mix },
+            cfg.seed ^ 0x5EF1_5EF1_5EF1_5EF1,
+        )
+    });
+
     let mut stats = MissionStats::default();
     let mut now = SimTime::ZERO;
     let end = SimTime::ZERO + cfg.duration;
     let mut next_upset = now + env.next_upset_in();
+    let mut next_sefi = sefi.as_mut().map(|p| now + p.next_event_in());
 
     let mut outstanding: Vec<Vec<Outstanding>> = vec![Vec::new(); ndev];
     let mut dirty: Vec<bool> = vec![false; ndev];
@@ -205,6 +262,70 @@ pub fn run_mission(
             next_upset += env.next_upset_in();
         }
 
+        // Land SEFIs striking the fault-management machinery itself.
+        if let Some(p) = sefi.as_mut() {
+            let mut t = next_sefi.unwrap();
+            while t < round_end {
+                let in_flare = cfg.flare.map(|(a, b)| t >= a && t < b).unwrap_or(false);
+                p.set_condition(if in_flare {
+                    OrbitCondition::SolarFlare
+                } else {
+                    OrbitCondition::Quiet
+                });
+
+                let di = p.pick_device();
+                let (b, f) = positions[di];
+                stats.sefis_injected += 1;
+                match p.sample_kind() {
+                    SefiKind::ReadbackCorrupt => {
+                        stats.sefi_readback_corrupt += 1;
+                        let bit_flips = p.rng().gen_range(1..=3);
+                        payload
+                            .fpga_mut(b, f)
+                            .device
+                            .inject_read_fault(ReadFault::Corrupt { bit_flips });
+                    }
+                    SefiKind::ReadbackAbort => {
+                        stats.sefi_readback_abort += 1;
+                        payload
+                            .fpga_mut(b, f)
+                            .device
+                            .inject_read_fault(ReadFault::Abort);
+                    }
+                    SefiKind::WriteSilentDrop => {
+                        stats.sefi_write_silent += 1;
+                        payload
+                            .fpga_mut(b, f)
+                            .device
+                            .inject_write_fault(WriteFault::SilentDrop);
+                    }
+                    SefiKind::PortWedge => {
+                        stats.sefi_port_wedge += 1;
+                        payload.fpga_mut(b, f).device.wedge_port();
+                    }
+                    SefiKind::Unprogram => {
+                        stats.sefi_unprogram += 1;
+                        payload.fpga_mut(b, f).device.upset_config_fsm();
+                        outstanding[di].push(Outstanding {
+                            at: t,
+                            sensitive: true,
+                            repairable: true,
+                        });
+                        dirty[di] = true;
+                    }
+                    SefiKind::CodebookUpset => {
+                        stats.codebook_upsets += 1;
+                        let book = &mut payload.fpga_mut(b, f).manager.codebook;
+                        let entry = p.rng().gen_range(0..book.frame_count());
+                        let bit = p.rng().gen_range(0..32);
+                        book.upset(entry, bit);
+                    }
+                }
+                t += p.next_event_in();
+            }
+            next_sefi = Some(t);
+        }
+
         // Scrub every board (they run concurrently; the round already
         // spans the longest board).
         for &b in &live_boards {
@@ -219,6 +340,14 @@ pub fn run_mission(
             stats.frames_repaired += out.frames_repaired;
             stats.detected += out.frames_repaired;
             stats.full_reconfigs += out.full_reconfigs;
+            stats.sefis_observed += out.sefis_observed;
+            stats.repair_retries += out.repair_retries;
+            stats.verify_failures += out.verify_failures;
+            stats.codebook_rebuilds += out.codebook_rebuilds;
+            stats.port_resets += out.port_resets;
+            stats.frames_escalated += out.frames_escalated;
+            stats.golden_uncorrectable += out.golden_uncorrectable;
+            stats.devices_degraded += out.devices_degraded;
             for f in out.devices_cleaned {
                 let di = positions.iter().position(|&p| p == (b, f)).unwrap();
                 // Repairable outstanding faults are resolved; their
@@ -251,6 +380,10 @@ pub fn run_mission(
         // half-latches and other hidden state.
         if let Some(period) = cfg.periodic_full_reconfig {
             for (di, &(b, f)) in positions.iter().enumerate() {
+                // Degraded devices are out of the rotation entirely.
+                if payload.fpga(b, f).health.degraded {
+                    continue;
+                }
                 if round_end.since(last_refresh[di]) >= period {
                     payload.full_reconfig(b, f, round_end);
                     stats.full_reconfigs += 1;

@@ -1,16 +1,59 @@
 //! The SEM-E payload assembly (paper §II, Figs. 1–3): three RCC boards of
 //! three Virtex FPGAs each, a RAD6000-class supervisor, FLASH/EEPROM
 //! storage, and one Actel-class fault manager per board.
+//!
+//! The scrub loop here is *fault-tolerant against its own machinery*: the
+//! SelectMAP port can wedge or lie (SEFIs), the SRAM-resident CRC codebook
+//! can be upset, and the FLASH golden can hold uncorrectable words. Every
+//! repair is verified after the write, failures retry with backoff in
+//! simulated time, and persistent failures climb an escalation ladder —
+//! frame repair → re-scan verify → full reconfiguration → port power-cycle
+//! → device marked degraded — so the mission degrades gracefully instead
+//! of wedging.
 
-use cibola_arch::{Bitstream, Device, Geometry, SimDuration, SimTime};
+use cibola_arch::{Bitstream, Device, Geometry, PortError, ReadbackOptions, SimDuration, SimTime};
 
-use crate::flash::{EccStats, Eeprom, Flash};
+use crate::crc::crc32;
+use crate::flash::{EccStats, Eeprom, Flash, FlashError};
 use crate::manager::{masked_frames_for, CrcCodebook, FaultManager};
 
 /// Boards in the flight payload.
 pub const BOARDS: usize = 3;
 /// FPGAs per board.
 pub const FPGAS_PER_BOARD: usize = 3;
+
+/// Robustness policy for the hardened scrub loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScrubPolicy {
+    /// Write-then-verify attempts per frame before escalating past frame
+    /// repair.
+    pub max_frame_attempts: u32,
+    /// Base retry backoff in simulated time; doubles each retry.
+    pub retry_backoff: SimDuration,
+    /// Consecutive failed scrub passes before a device is marked degraded
+    /// and taken out of the scrub rotation.
+    pub degrade_after: u32,
+}
+
+impl Default for ScrubPolicy {
+    fn default() -> Self {
+        ScrubPolicy {
+            max_frame_attempts: 3,
+            retry_backoff: SimDuration::from_millis(1),
+            degrade_after: 3,
+        }
+    }
+}
+
+/// Per-device fault-management health, tracked across scrub passes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FpgaHealth {
+    /// Scrub passes in a row that ended with the device still faulty.
+    pub consecutive_failures: u32,
+    /// The device has been taken out of the scrub rotation after
+    /// exhausting the escalation ladder.
+    pub degraded: bool,
+}
 
 /// One FPGA with its golden image, flash slot and fault manager codebook.
 #[derive(Debug, Clone)]
@@ -20,6 +63,7 @@ pub struct LoadedFpga {
     pub golden: Bitstream,
     pub flash_slot: usize,
     pub manager: FaultManager,
+    pub health: FpgaHealth,
 }
 
 /// One RCC board: three FPGAs sharing an Actel controller.
@@ -29,6 +73,10 @@ pub struct RccBoard {
 }
 
 /// A state-of-health event, downlinked to the ground station.
+///
+/// Marked non-exhaustive: flight software grows new telemetry, and adding
+/// a variant must not break downstream match arms.
+#[non_exhaustive]
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SohEvent {
     /// CRC mismatch found at (frame index).
@@ -39,6 +87,29 @@ pub enum SohEvent {
     FullReconfig,
     /// FLASH ECC corrected bit errors while fetching golden data.
     FlashCorrected { words: usize },
+    /// A configuration-port SEFI was observed (readback abort, corrupted
+    /// readback unmasked by verify, or — if `wedged` — a dead port).
+    PortSefi { wedged: bool },
+    /// Verify-after-write found the frame still wrong; attempt counts the
+    /// retry about to happen.
+    RepairRetry { frame_index: usize, attempt: u32 },
+    /// A repair write did not stick (silent drop, port lie, or codebook
+    /// mismatch).
+    VerifyFailed { frame_index: usize },
+    /// The CRC codebook failed its self-check (SRAM upset).
+    CodebookCorrupt,
+    /// The codebook was rebuilt from the ECC-protected FLASH golden.
+    CodebookRebuilt,
+    /// A golden frame fetch hit an uncorrectable (double-bit) FLASH ECC
+    /// error; the repair was skipped rather than written with bad data.
+    GoldenFrameUncorrectable { frame_index: usize },
+    /// A whole golden image fetch hit an uncorrectable FLASH ECC error.
+    GoldenImageUncorrectable,
+    /// The configuration port was power-cycled (simulated board-level
+    /// recovery).
+    PortReset,
+    /// The device exhausted the escalation ladder and was marked degraded.
+    DeviceDegraded,
 }
 
 /// A timestamped SOH record.
@@ -59,6 +130,23 @@ pub struct ScrubOutcome {
     /// Devices that were repaired or reconfigured (their outstanding
     /// upsets are resolved).
     pub devices_cleaned: Vec<usize>,
+    /// Port SEFIs observed by the scrub machinery (aborts + wedges).
+    pub sefis_observed: usize,
+    /// Verify-after-write retries performed.
+    pub repair_retries: usize,
+    /// Verify-after-write mismatches seen.
+    pub verify_failures: usize,
+    /// Codebook self-check failures repaired from FLASH.
+    pub codebook_rebuilds: usize,
+    /// Configuration-port power-cycles performed.
+    pub port_resets: usize,
+    /// Golden fetches skipped because of uncorrectable FLASH ECC errors.
+    pub golden_uncorrectable: usize,
+    /// Frames whose bounded repair attempts all failed (escalated past
+    /// frame repair).
+    pub frames_escalated: usize,
+    /// Devices marked degraded during this pass.
+    pub devices_degraded: usize,
 }
 
 /// The whole payload.
@@ -69,6 +157,7 @@ pub struct Payload {
     pub eeprom: Eeprom,
     pub soh: Vec<SohRecord>,
     pub ecc_stats: EccStats,
+    pub policy: ScrubPolicy,
 }
 
 impl Payload {
@@ -80,6 +169,7 @@ impl Payload {
             eeprom: Eeprom::default(),
             soh: Vec::new(),
             ecc_stats: EccStats::default(),
+            policy: ScrubPolicy::default(),
         }
     }
 
@@ -111,6 +201,7 @@ impl Payload {
             golden: bitstream.clone(),
             flash_slot: slot,
             manager: FaultManager::new(codebook),
+            health: FpgaHealth::default(),
         });
         (board, self.boards[board].fpgas.len() - 1)
     }
@@ -132,6 +223,15 @@ impl Payload {
         &mut self.boards[board].fpgas[fpga]
     }
 
+    fn push_soh(&mut self, board: usize, fpga: usize, at: SimTime, event: SohEvent) {
+        self.soh.push(SohRecord {
+            time_ns: at.as_nanos(),
+            board,
+            fpga,
+            event,
+        });
+    }
+
     /// The scan-cycle duration of a board's fault manager — the paper's
     /// "each configuration is read every 180 ms" for three XQVR1000s.
     pub fn board_scan_cycle(&self, board: usize) -> SimDuration {
@@ -142,111 +242,425 @@ impl Payload {
             .sum()
     }
 
-    /// Scrub one board once at simulated time `now`: scan each FPGA,
-    /// repair corrupt frames from FLASH, escalate to full reconfiguration
-    /// when readback looks unprogrammed. `dirty` hints which FPGAs might
+    /// Scrub one board once at simulated time `now`: self-check the
+    /// codebook, scan each FPGA, repair corrupt frames from FLASH with
+    /// verify-after-write and bounded retry, and climb the escalation
+    /// ladder when repairs do not stick. `dirty` hints which FPGAs might
     /// have bitstream changes — clean devices are charged scan time
     /// without a simulated readback (their scan provably finds nothing).
     pub fn scrub_board(&mut self, board: usize, now: SimTime, dirty: &[bool]) -> ScrubOutcome {
         let mut out = ScrubOutcome::default();
         for fi in 0..self.boards[board].fpgas.len() {
-            let skip_scan = !dirty.get(fi).copied().unwrap_or(true)
-                && self.boards[board].fpgas[fi].device.is_programmed();
-            if skip_scan {
-                let f = &self.boards[board].fpgas[fi];
-                out.duration += f.manager.scan_cost(&f.device);
+            if self.boards[board].fpgas[fi].health.degraded {
+                // Out of the rotation: the mission flies on without it.
                 continue;
             }
-            let report = {
-                let f = &mut self.boards[board].fpgas[fi];
-                let mgr = f.manager.clone();
-
-                mgr.scan(&mut f.device)
-            };
-            out.duration += report.duration;
-
-            if report.looks_unprogrammed() {
-                // Fetch the whole golden image from FLASH and reconfigure.
-                let slot = self.boards[board].fpgas[fi].flash_slot;
-                let golden = self.boards[board].fpgas[fi].golden.clone();
-                let mut stats = EccStats::default();
-                let (image, fetch) = self
-                    .flash
-                    .read_bitstream(slot, &golden, &mut stats)
-                    .expect("golden image readable");
-                self.merge_ecc(board, fi, now, &stats);
-                let f = &mut self.boards[board].fpgas[fi];
-                out.duration += fetch + f.device.configure_full(&image);
-                out.full_reconfigs += 1;
-                out.devices_cleaned.push(fi);
-                self.soh.push(SohRecord {
-                    time_ns: (now + out.duration).as_nanos(),
-                    board,
-                    fpga: fi,
-                    event: SohEvent::FullReconfig,
-                });
-                continue;
-            }
-
-            if report.corrupt.is_empty() {
-                continue;
-            }
-            for cf in &report.corrupt {
-                self.soh.push(SohRecord {
-                    time_ns: (now + out.duration).as_nanos(),
-                    board,
-                    fpga: fi,
-                    event: SohEvent::FrameCorrupt {
-                        frame_index: cf.frame_index,
-                    },
-                });
-                let slot = self.boards[board].fpgas[fi].flash_slot;
-                let mut stats = EccStats::default();
-                let (bytes, fetch) = self
-                    .flash
-                    .read_frame(slot, cf.frame_index, &mut stats)
-                    .expect("golden frame readable");
-                self.merge_ecc(board, fi, now, &stats);
-                let f = &mut self.boards[board].fpgas[fi];
-                out.duration += fetch + f.device.partial_configure_frame(cf.addr, &bytes);
-                out.frames_repaired += 1;
-                self.soh.push(SohRecord {
-                    time_ns: (now + out.duration).as_nanos(),
-                    board,
-                    fpga: fi,
-                    event: SohEvent::FrameRepaired {
-                        frame_index: cf.frame_index,
-                    },
-                });
-            }
-            // "…and then resets the system" (one reset after repairs).
-            self.boards[board].fpgas[fi].device.reset();
-            out.devices_cleaned.push(fi);
+            let dirty_hint = dirty.get(fi).copied().unwrap_or(true);
+            self.scrub_fpga(board, fi, now, dirty_hint, &mut out);
         }
         out
     }
 
+    /// One device's pass through the hardened scrub pipeline.
+    fn scrub_fpga(
+        &mut self,
+        board: usize,
+        fi: usize,
+        now: SimTime,
+        dirty: bool,
+        out: &mut ScrubOutcome,
+    ) {
+        // Rung 0 — trust the codebook only after it proves itself. The
+        // self-check runs in Actel hardware alongside the scan, so it
+        // costs no extra simulated time; a rebuild costs a FLASH fetch.
+        if !self.boards[board].fpgas[fi].manager.codebook.self_check() {
+            self.push_soh(board, fi, now + out.duration, SohEvent::CodebookCorrupt);
+            if !self.rebuild_codebook(board, fi, now, out) {
+                // No trustworthy codebook and no trustworthy golden: a
+                // failed pass. The degrade counter bounds how long we
+                // keep trying.
+                self.note_failed_pass(board, fi, now, out);
+                return;
+            }
+        }
+
+        // A port left wedged by a SEFI between passes: power-cycle first.
+        if self.boards[board].fpgas[fi].device.is_port_wedged() {
+            self.reset_port(board, fi, now, out);
+        }
+
+        // Fast path: provably-clean device, charged scan time only. A
+        // device with injected-but-unconsumed port faults is *not* clean
+        // for this purpose — scanning it drains the fault queue.
+        let skip_scan = !dirty
+            && self.boards[board].fpgas[fi].device.is_programmed()
+            && self.boards[board].fpgas[fi].device.pending_port_faults() == 0;
+        if skip_scan {
+            let f = &self.boards[board].fpgas[fi];
+            out.duration += f.manager.scan_cost(&f.device);
+            self.boards[board].fpgas[fi].health.consecutive_failures = 0;
+            return;
+        }
+
+        // Rung 1 — scan. A wedged port gets one power-cycle + rescan.
+        let mut report = {
+            let f = &mut self.boards[board].fpgas[fi];
+            let mgr = f.manager.clone();
+            mgr.scan(&mut f.device)
+        };
+        out.duration += report.duration;
+        if report.aborted_frames > 0 {
+            out.sefis_observed += report.aborted_frames;
+            self.push_soh(
+                board,
+                fi,
+                now + out.duration,
+                SohEvent::PortSefi { wedged: false },
+            );
+        }
+        if report.wedged {
+            out.sefis_observed += 1;
+            self.push_soh(
+                board,
+                fi,
+                now + out.duration,
+                SohEvent::PortSefi { wedged: true },
+            );
+            self.reset_port(board, fi, now, out);
+            report = {
+                let f = &mut self.boards[board].fpgas[fi];
+                let mgr = f.manager.clone();
+                mgr.scan(&mut f.device)
+            };
+            out.duration += report.duration;
+            if report.wedged {
+                // Dead twice in one pass: give up until the next round.
+                out.sefis_observed += 1;
+                self.push_soh(
+                    board,
+                    fi,
+                    now + out.duration,
+                    SohEvent::PortSefi { wedged: true },
+                );
+                self.note_failed_pass(board, fi, now, out);
+                return;
+            }
+        }
+
+        // Rung 3 direct — near-total mismatch means the device is
+        // unprogrammed (configuration-FSM upset): full reconfiguration.
+        if report.looks_unprogrammed() {
+            if self.try_full_reconfig(board, fi, now, out) {
+                out.devices_cleaned.push(fi);
+                self.boards[board].fpgas[fi].health.consecutive_failures = 0;
+            } else {
+                self.note_failed_pass(board, fi, now, out);
+            }
+            return;
+        }
+
+        if report.corrupt.is_empty() {
+            self.boards[board].fpgas[fi].health.consecutive_failures = 0;
+            return;
+        }
+
+        // Rung 1 proper — verified frame repair with bounded retry.
+        let mut failed_frames = 0usize;
+        for cf in &report.corrupt {
+            self.push_soh(
+                board,
+                fi,
+                now + out.duration,
+                SohEvent::FrameCorrupt {
+                    frame_index: cf.frame_index,
+                },
+            );
+            let slot = self.boards[board].fpgas[fi].flash_slot;
+            let mut stats = EccStats::default();
+            let golden = match self.flash.read_frame(slot, cf.frame_index, &mut stats) {
+                Ok((bytes, fetch)) => {
+                    self.merge_ecc(board, fi, now, &stats);
+                    out.duration += fetch;
+                    bytes
+                }
+                Err(FlashError::Uncorrectable { .. }) => {
+                    // Never repair a frame with corrupt golden data:
+                    // report and skip — the frame stays outstanding.
+                    self.merge_ecc(board, fi, now, &stats);
+                    out.golden_uncorrectable += 1;
+                    self.push_soh(
+                        board,
+                        fi,
+                        now + out.duration,
+                        SohEvent::GoldenFrameUncorrectable {
+                            frame_index: cf.frame_index,
+                        },
+                    );
+                    failed_frames += 1;
+                    continue;
+                }
+                Err(e) => panic!("golden frame fetch: {e}"),
+            };
+
+            if self.repair_frame_verified(board, fi, cf.frame_index, cf.addr, &golden, now, out) {
+                out.frames_repaired += 1;
+                self.push_soh(
+                    board,
+                    fi,
+                    now + out.duration,
+                    SohEvent::FrameRepaired {
+                        frame_index: cf.frame_index,
+                    },
+                );
+            } else {
+                failed_frames += 1;
+                out.frames_escalated += 1;
+            }
+        }
+        // "…and then resets the system" (one reset after repairs).
+        self.boards[board].fpgas[fi].device.reset();
+
+        if failed_frames == 0 {
+            out.devices_cleaned.push(fi);
+            self.boards[board].fpgas[fi].health.consecutive_failures = 0;
+            return;
+        }
+
+        // Rung 2 — re-scan verify: transient port lies (corrupted
+        // readback) can fabricate "failed" repairs; trust a clean rescan.
+        let recheck = {
+            let f = &mut self.boards[board].fpgas[fi];
+            let mgr = f.manager.clone();
+            mgr.scan(&mut f.device)
+        };
+        out.duration += recheck.duration;
+        if !recheck.wedged
+            && recheck.aborted_frames == 0
+            && !recheck.looks_unprogrammed()
+            && recheck.corrupt.is_empty()
+        {
+            out.devices_cleaned.push(fi);
+            self.boards[board].fpgas[fi].health.consecutive_failures = 0;
+            return;
+        }
+
+        // Rung 3 — full reconfiguration from FLASH.
+        if self.try_full_reconfig(board, fi, now, out) {
+            out.devices_cleaned.push(fi);
+            self.boards[board].fpgas[fi].health.consecutive_failures = 0;
+            return;
+        }
+
+        // Rung 4 — board-level port power-cycle (flushes any lingering
+        // port faults), then one more full reconfiguration.
+        self.reset_port(board, fi, now, out);
+        if self.try_full_reconfig(board, fi, now, out) {
+            out.devices_cleaned.push(fi);
+            self.boards[board].fpgas[fi].health.consecutive_failures = 0;
+            return;
+        }
+
+        // Rung 5 — the whole ladder failed this pass.
+        self.note_failed_pass(board, fi, now, out);
+    }
+
+    /// Write `golden` to the frame, re-read it, and compare against the
+    /// codebook; retry with exponential backoff up to the policy bound.
+    #[allow(clippy::too_many_arguments)]
+    fn repair_frame_verified(
+        &mut self,
+        board: usize,
+        fi: usize,
+        frame_index: usize,
+        addr: cibola_arch::FrameAddr,
+        golden: &[u8],
+        now: SimTime,
+        out: &mut ScrubOutcome,
+    ) -> bool {
+        let policy = self.policy;
+        for attempt in 0..policy.max_frame_attempts {
+            if attempt > 0 {
+                out.repair_retries += 1;
+                self.push_soh(
+                    board,
+                    fi,
+                    now + out.duration,
+                    SohEvent::RepairRetry {
+                        frame_index,
+                        attempt,
+                    },
+                );
+                // Exponential backoff in simulated time before retrying.
+                out.duration +=
+                    SimDuration::from_nanos(policy.retry_backoff.as_nanos() << (attempt - 1));
+            }
+
+            let (wres, wd) = self.boards[board].fpgas[fi]
+                .device
+                .try_partial_configure_frame(addr, golden);
+            out.duration += wd;
+            if wres.is_err() {
+                // A wedge mid-repair: power-cycle and count the attempt.
+                out.sefis_observed += 1;
+                self.push_soh(
+                    board,
+                    fi,
+                    now + out.duration,
+                    SohEvent::PortSefi { wedged: true },
+                );
+                self.reset_port(board, fi, now, out);
+                continue;
+            }
+
+            // Verify-after-write: the frame must read back with the
+            // codebook's CRC before the repair counts.
+            let (vres, vd) = self.boards[board].fpgas[fi]
+                .device
+                .try_readback_frame(addr, ReadbackOptions::default());
+            out.duration += vd;
+            match vres {
+                Ok(data)
+                    if crc32(&data)
+                        == self.boards[board].fpgas[fi]
+                            .manager
+                            .codebook
+                            .crc(frame_index) =>
+                {
+                    return true;
+                }
+                Ok(_) | Err(PortError::Aborted) => {
+                    out.verify_failures += 1;
+                    self.push_soh(
+                        board,
+                        fi,
+                        now + out.duration,
+                        SohEvent::VerifyFailed { frame_index },
+                    );
+                }
+                Err(PortError::Wedged) => {
+                    out.sefis_observed += 1;
+                    out.verify_failures += 1;
+                    self.push_soh(
+                        board,
+                        fi,
+                        now + out.duration,
+                        SohEvent::VerifyFailed { frame_index },
+                    );
+                    self.reset_port(board, fi, now, out);
+                }
+            }
+        }
+        false
+    }
+
+    /// Rebuild the CRC codebook from the ECC-protected FLASH golden.
+    /// Returns false if the golden image itself is unreadable.
+    fn rebuild_codebook(
+        &mut self,
+        board: usize,
+        fi: usize,
+        now: SimTime,
+        out: &mut ScrubOutcome,
+    ) -> bool {
+        let slot = self.boards[board].fpgas[fi].flash_slot;
+        let golden = self.boards[board].fpgas[fi].golden.clone();
+        let mut stats = EccStats::default();
+        match self.flash.read_bitstream(slot, &golden, &mut stats) {
+            Ok((image, fetch)) => {
+                self.merge_ecc(board, fi, now, &stats);
+                let masked = masked_frames_for(&image);
+                self.boards[board].fpgas[fi].manager.codebook = CrcCodebook::new(&image, &masked);
+                out.duration += fetch;
+                out.codebook_rebuilds += 1;
+                self.push_soh(board, fi, now + out.duration, SohEvent::CodebookRebuilt);
+                true
+            }
+            Err(FlashError::Uncorrectable { .. }) => {
+                self.merge_ecc(board, fi, now, &stats);
+                out.golden_uncorrectable += 1;
+                self.push_soh(
+                    board,
+                    fi,
+                    now + out.duration,
+                    SohEvent::GoldenImageUncorrectable,
+                );
+                false
+            }
+            Err(e) => panic!("codebook rebuild: {e}"),
+        }
+    }
+
+    /// Power-cycle one device's configuration port and log it.
+    fn reset_port(&mut self, board: usize, fi: usize, now: SimTime, out: &mut ScrubOutcome) {
+        out.duration += self.boards[board].fpgas[fi].device.port_reset();
+        out.port_resets += 1;
+        self.push_soh(board, fi, now + out.duration, SohEvent::PortReset);
+    }
+
+    /// Full reconfiguration with wedge and FLASH-ECC handling. Returns
+    /// true when the device came back programmed.
+    fn try_full_reconfig(
+        &mut self,
+        board: usize,
+        fi: usize,
+        now: SimTime,
+        out: &mut ScrubOutcome,
+    ) -> bool {
+        if self.boards[board].fpgas[fi].device.is_port_wedged() {
+            self.reset_port(board, fi, now, out);
+        }
+        let slot = self.boards[board].fpgas[fi].flash_slot;
+        let golden = self.boards[board].fpgas[fi].golden.clone();
+        let mut stats = EccStats::default();
+        match self.flash.read_bitstream(slot, &golden, &mut stats) {
+            Ok((image, fetch)) => {
+                self.merge_ecc(board, fi, now, &stats);
+                let f = &mut self.boards[board].fpgas[fi];
+                out.duration += fetch + f.device.configure_full(&image);
+                out.full_reconfigs += 1;
+                self.push_soh(board, fi, now + out.duration, SohEvent::FullReconfig);
+                true
+            }
+            Err(FlashError::Uncorrectable { .. }) => {
+                self.merge_ecc(board, fi, now, &stats);
+                out.golden_uncorrectable += 1;
+                self.push_soh(
+                    board,
+                    fi,
+                    now + out.duration,
+                    SohEvent::GoldenImageUncorrectable,
+                );
+                false
+            }
+            Err(e) => panic!("golden image fetch: {e}"),
+        }
+    }
+
+    /// Count a pass that left the device faulty; degrade after the policy
+    /// bound so the mission cannot livelock on an unrecoverable device.
+    fn note_failed_pass(&mut self, board: usize, fi: usize, now: SimTime, out: &mut ScrubOutcome) {
+        let degrade_after = self.policy.degrade_after;
+        let h = &mut self.boards[board].fpgas[fi].health;
+        h.consecutive_failures += 1;
+        if h.consecutive_failures >= degrade_after {
+            h.degraded = true;
+            out.devices_degraded += 1;
+            self.push_soh(board, fi, now + out.duration, SohEvent::DeviceDegraded);
+        }
+    }
+
     /// Full reconfiguration of one device from its FLASH image: the only
     /// operation that restores half-latches. Used on escalation and for
-    /// periodic refresh.
+    /// periodic refresh. Power-cycles the port first if a SEFI wedged it.
     pub fn full_reconfig(&mut self, board: usize, fpga: usize, now: SimTime) -> SimDuration {
-        let slot = self.boards[board].fpgas[fpga].flash_slot;
-        let golden = self.boards[board].fpgas[fpga].golden.clone();
-        let mut stats = EccStats::default();
-        let (image, fetch) = self
-            .flash
-            .read_bitstream(slot, &golden, &mut stats)
-            .expect("golden image readable");
-        self.merge_ecc(board, fpga, now, &stats);
-        let f = &mut self.boards[board].fpgas[fpga];
-        let d = fetch + f.device.configure_full(&image);
-        self.soh.push(SohRecord {
-            time_ns: (now + d).as_nanos(),
-            board,
-            fpga,
-            event: SohEvent::FullReconfig,
-        });
-        d
+        let mut out = ScrubOutcome::default();
+        if !self.try_full_reconfig(board, fpga, now, &mut out) {
+            // Uncorrectable golden: the device stays unprogrammed; the
+            // next scrub pass escalates (and eventually degrades).
+        }
+        // Fold bookkeeping from the helper into the payload-level log
+        // only; callers get the elapsed time as before.
+        out.duration
     }
 
     fn merge_ecc(&mut self, board: usize, fpga: usize, now: SimTime, stats: &EccStats) {
@@ -254,14 +668,14 @@ impl Payload {
         self.ecc_stats.corrected += stats.corrected;
         self.ecc_stats.uncorrectable += stats.uncorrectable;
         if stats.corrected > 0 {
-            self.soh.push(SohRecord {
-                time_ns: now.as_nanos(),
+            self.push_soh(
                 board,
                 fpga,
-                event: SohEvent::FlashCorrected {
+                now,
+                SohEvent::FlashCorrected {
                     words: stats.corrected,
                 },
-            });
+            );
         }
     }
 }

@@ -67,6 +67,25 @@ impl GroundLink {
         let bytes: usize = bs.frame_addrs().map(|a| bs.frame_bytes(a.block)).sum();
         bytes <= flash_free && self.passes_for_uploads(bs, uses) >= 1
     }
+
+    /// Downlink time for `records` state-of-health records. Each record is
+    /// a timestamped, tagged event (time + location + event + payload:
+    /// 16 bytes framed). The hardened scrubber is far chattier than the
+    /// original — every retry, verify failure, codebook rebuild and
+    /// escalation rung is downlinked — so ops must budget for it.
+    pub fn soh_downlink_time(&self, records: usize) -> SimDuration {
+        const SOH_RECORD_BYTES: usize = 16;
+        SimDuration::from_secs_f64(
+            records as f64 * SOH_RECORD_BYTES as f64 * 8.0 / self.bits_per_second,
+        )
+    }
+
+    /// Does a mission's worth of SOH telemetry fit the fixed per-pass
+    /// overhead window? If not, the flight software must prioritise
+    /// (escalation-rung events first) or spill to a second pass.
+    pub fn soh_fits_pass_overhead(&self, records: usize) -> bool {
+        self.soh_downlink_time(records) <= self.per_pass_overhead
+    }
 }
 
 #[cfg(test)]
@@ -96,6 +115,17 @@ mod tests {
         };
         let passes = link.passes_for_uploads(&bs, 1);
         assert!(passes > 1, "9600 baud needs {passes} passes");
+    }
+
+    #[test]
+    fn soh_telemetry_budget() {
+        let link = GroundLink::default();
+        // 1312 records (the quiet-mission volume) is ≈21 ms of link time —
+        // deep inside the 60 s overhead window.
+        assert!(link.soh_downlink_time(1312).as_secs_f64() < 0.1);
+        assert!(link.soh_fits_pass_overhead(1312));
+        // A pathological event storm does not fit and must spill.
+        assert!(!link.soh_fits_pass_overhead(10_000_000));
     }
 
     #[test]

@@ -52,22 +52,43 @@ fn main() {
         }
     }
 
-    // 24 simulated hours; upset rates accelerated ~100× over the paper's
-    // 1.2/h so a demo run has events to show.
+    // 24 simulated hours by default (ORBIT_HOURS=n shortens it — CI flies
+    // a 2 h orbit so the step stays quick); upset rates accelerated ~100×
+    // over the paper's 1.2/h so a demo run has events to show. The SEFI
+    // process (port lock-ups, lying readbacks, codebook upsets) flies at
+    // the same acceleration of its paper-scale rates, ≈60× below the SEU
+    // rate. The flare window scales with the mission: hours/4 → hours/3.
+    let hours: u64 = std::env::var("ORBIT_HOURS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(24);
+    let secs = hours * 3600;
     let cfg = MissionConfig {
-        duration: SimDuration::from_secs(24 * 3600),
+        duration: SimDuration::from_secs(secs),
         rates: OrbitRates {
             quiet_per_hour: 120.0,
             flare_per_hour: 960.0,
             devices: 9,
         },
-        flare: Some((SimTime::from_secs(6 * 3600), SimTime::from_secs(8 * 3600))),
+        flare: Some((SimTime::from_secs(secs / 4), SimTime::from_secs(secs / 3))),
         periodic_full_reconfig: Some(SimDuration::from_secs(3600)),
+        sefi: Some(cibola::radiation::SefiConfig {
+            rates: cibola::radiation::SefiRates {
+                quiet_per_hour: 2.0,
+                flare_per_hour: 16.0,
+                devices: 9,
+            },
+            ..Default::default()
+        }),
         ..Default::default()
     };
     let stats = run_mission(&mut payload, &cfg, &sensitivity);
 
-    println!("\n── mission summary (24 h LEO, flare 06:00–08:00) ──");
+    println!(
+        "\n── mission summary ({hours} h LEO, flare at hour {}–{}) ──",
+        hours / 4,
+        hours / 3
+    );
     println!(
         "upsets: {} total ({} config, {} masked-frame, {} half-latch, {} user-FF, {} config-FSM)",
         stats.upsets_total,
@@ -88,6 +109,19 @@ fn main() {
     println!(
         "availability: {:.5} ({} ms unavailable across 9 devices)",
         stats.availability, stats.unavailable_ms as u64
+    );
+    println!(
+        "fault-management path: {} SEFIs injected ({} observed by the scrubber), {} codebook upset(s)",
+        stats.sefis_injected, stats.sefis_observed, stats.codebook_upsets
+    );
+    println!(
+        "escalation ladder: {} verify failures, {} retries, {} codebook rebuilds, {} port resets, {} frames escalated, {} devices degraded",
+        stats.verify_failures,
+        stats.repair_retries,
+        stats.codebook_rebuilds,
+        stats.port_resets,
+        stats.frames_escalated,
+        stats.devices_degraded
     );
 
     println!("\nfirst state-of-health records downlinked:");
@@ -118,6 +152,24 @@ fn main() {
                     r.board, r.fpga
                 )
             }
+            SohEvent::PortSefi { wedged } => {
+                println!(
+                    "  {t} board {} fpga {} PORT SEFI{}",
+                    r.board,
+                    r.fpga,
+                    if wedged { " (wedged)" } else { "" }
+                )
+            }
+            SohEvent::CodebookCorrupt => {
+                println!("  {t} board {} fpga {} CODEBOOK CORRUPT", r.board, r.fpga)
+            }
+            SohEvent::CodebookRebuilt => {
+                println!(
+                    "  {t} board {} fpga {} codebook rebuilt from FLASH",
+                    r.board, r.fpga
+                )
+            }
+            other => println!("  {t} board {} fpga {} {other:?}", r.board, r.fpga),
         }
     }
 }
