@@ -1,0 +1,186 @@
+//! Machine-readable mission-kernel baseline: round-ticking reference loop
+//! vs the event-driven kernel, plus Monte-Carlo ensemble throughput,
+//! written to `BENCH_mission.json` so future changes can track the
+//! trajectory.
+//!
+//! Two measurements:
+//!
+//! * `kernel` — one quiet mission at the paper's default LEO rates
+//!   (1.2 upsets/hour across nine devices), flown twice: by
+//!   `run_mission_reference` (ticks every ≈9.4 ms scan round of the tiny
+//!   demo payload — ~64 M rounds for the default 7-day mission) and by
+//!   the event-driven `run_mission` (visits only rounds where something
+//!   can happen — a few hundred). The stats are asserted identical before
+//!   the speedup is recorded.
+//! * `ensemble` — an accelerated-storm 12 h mission config swept over N
+//!   seeds, serial vs the full rayon pool, as missions/second. The
+//!   aggregate stats are asserted identical across thread counts.
+//!
+//! `host_cpus` is recorded alongside: ensemble scaling is bounded by the
+//! machine, not the code, and a single-core container necessarily reports
+//! ≈1× regardless of how well the fan-out would scale elsewhere.
+//!
+//! Usage: `cargo run --release -p cibola-bench --bin bench_mission
+//!         [--out BENCH_mission.json] [--hours 168] [--missions 12]`
+//! (env `BENCH_MISSION_HOURS` / `BENCH_MISSION_SEEDS` override the
+//! defaults — CI smoke-runs with a clamped mission.)
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use cibola::prelude::*;
+use cibola_bench::Args;
+use cibola_netlist::gen;
+use cibola_scrub::{run_ensemble, run_mission_reference, EnsembleConfig};
+
+fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn nine_fpga_payload(geom: &Geometry) -> Payload {
+    let imp = implement(&gen::counter_adder(4), geom).expect("tiny payload design fits");
+    let mut payload = Payload::new();
+    for board in 0..3 {
+        for _ in 0..3 {
+            payload.load_design(board, "ctr", geom, &imp.bitstream);
+        }
+    }
+    payload
+}
+
+fn main() {
+    let args = Args::parse();
+    let out_path = args
+        .get("--out")
+        .unwrap_or("BENCH_mission.json")
+        .to_string();
+    let hours = args.usize("--hours", env_usize("BENCH_MISSION_HOURS", 168));
+    let missions = args.usize("--missions", env_usize("BENCH_MISSION_SEEDS", 12));
+
+    let geom = Geometry::tiny();
+    let sensitivity = HashMap::new();
+    let host_cpus = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+
+    // ---- kernel: quiet mission at the paper's default rates ----
+    let quiet = MissionConfig {
+        duration: SimDuration::from_secs(hours as u64 * 3600),
+        seed: 42,
+        ..Default::default()
+    };
+
+    let mut payload = nine_fpga_payload(&geom);
+    let start = Instant::now();
+    let event_stats = run_mission(&mut payload, &quiet, &sensitivity);
+    let event_secs = start.elapsed().as_secs_f64();
+
+    let mut payload = nine_fpga_payload(&geom);
+    let start = Instant::now();
+    let ref_stats = run_mission_reference(&mut payload, &quiet, &sensitivity);
+    let ref_secs = start.elapsed().as_secs_f64();
+
+    assert_eq!(
+        event_stats, ref_stats,
+        "event-driven kernel diverged from the reference loop"
+    );
+    let kernel_speedup = ref_secs / event_secs.max(1e-9);
+    println!(
+        "kernel   quiet {hours} h ({} rounds): reference {ref_secs:>8.3} s | event-driven {event_secs:>8.3} s | {kernel_speedup:>7.1}x",
+        ref_stats.scrub_cycles
+    );
+
+    // ---- ensemble: accelerated-storm mission over seeds ----
+    // No SEFI process here: a latched write-drop SEFI keeps a device's
+    // port-fault queue non-empty until a repair consumes it, which
+    // (correctly) forces the kernel to execute every remaining round —
+    // the bench would then measure SEFI tail-luck, not fan-out
+    // throughput. SEFI-heavy ensembles are exercised by the test suite.
+    let storm = MissionConfig {
+        duration: SimDuration::from_secs(12 * 3600),
+        rates: OrbitRates {
+            quiet_per_hour: 120.0,
+            flare_per_hour: 960.0,
+            devices: 9,
+        },
+        flare: Some((SimTime::from_secs(3 * 3600), SimTime::from_secs(4 * 3600))),
+        periodic_full_reconfig: Some(SimDuration::from_secs(3600)),
+        sefi: None,
+        ..Default::default()
+    };
+    let ens_cfg = EnsembleConfig {
+        mission: storm,
+        base_seed: 0x00E5_EB1E,
+        missions,
+        parallel: true,
+    };
+
+    let mut ensemble_rows: Vec<(usize, f64, f64)> = Vec::new();
+    let mut baseline: Option<cibola_scrub::EnsembleStats> = None;
+    for threads in [1, host_cpus] {
+        std::env::set_var("RAYON_NUM_THREADS", threads.to_string());
+        let start = Instant::now();
+        let result = run_ensemble(&ens_cfg, &sensitivity, |_| nine_fpga_payload(&geom));
+        let secs = start.elapsed().as_secs_f64();
+        std::env::remove_var("RAYON_NUM_THREADS");
+
+        match &baseline {
+            None => baseline = Some(result.stats.clone()),
+            Some(b) => assert_eq!(
+                *b, result.stats,
+                "ensemble aggregate changed with thread count"
+            ),
+        }
+        let mps = missions as f64 / secs.max(1e-9);
+        println!(
+            "ensemble storm 12 h x {missions} seeds @ {threads} thread(s): {secs:>8.3} s | {mps:>6.2} missions/s | availability mean {:.6} p05 {:.6}",
+            result.stats.availability_mean, result.stats.availability_p05
+        );
+        ensemble_rows.push((threads, secs, mps));
+    }
+    let ensemble_scaling = ensemble_rows.last().unwrap().2 / ensemble_rows[0].2.max(1e-9);
+
+    // ---- JSON ----
+    let mut json = String::new();
+    json.push_str("{\n  \"bench\": \"mission_kernel_throughput\",\n");
+    let _ = writeln!(json, "  \"host_cpus\": {host_cpus},");
+    let _ = writeln!(json, "  \"quiet_mission_hours\": {hours},");
+    let _ = writeln!(json, "  \"scan_rounds\": {},", ref_stats.scrub_cycles);
+    json.push_str("  \"kernel\": [\n");
+    let _ = writeln!(
+        json,
+        "    {{\"mode\": \"reference_round_loop\", \"host_seconds\": {ref_secs:.4}, \"upsets\": {}}},",
+        ref_stats.upsets_total
+    );
+    let _ = writeln!(
+        json,
+        "    {{\"mode\": \"event_driven\", \"host_seconds\": {event_secs:.4}, \"upsets\": {}}}",
+        event_stats.upsets_total
+    );
+    json.push_str("  ],\n");
+    let _ = writeln!(json, "  \"kernel_speedup\": {kernel_speedup:.1},");
+    let _ = writeln!(json, "  \"ensemble_mission_hours\": 12,");
+    let _ = writeln!(json, "  \"ensemble_missions\": {missions},");
+    json.push_str("  \"ensemble\": [\n");
+    for (i, (threads, secs, mps)) in ensemble_rows.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"threads\": {threads}, \"host_seconds\": {secs:.4}, \"missions_per_second\": {mps:.3}}}"
+        );
+        json.push_str(if i + 1 < ensemble_rows.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    json.push_str("  ],\n");
+    let _ = writeln!(json, "  \"ensemble_scaling\": {ensemble_scaling:.2}");
+    json.push_str("}\n");
+
+    std::fs::write(&out_path, json).expect("write BENCH_mission.json");
+    println!("wrote {out_path}");
+}

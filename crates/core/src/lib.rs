@@ -62,5 +62,7 @@ pub mod prelude {
         implement, Implementation, Netlist, NetlistBuilder, NetlistSim, Stimulus,
     };
     pub use cibola_radiation::{BeamConfig, OrbitEnvironment, OrbitRates, ProtonBeam, TargetMix};
-    pub use cibola_scrub::{run_mission, FaultManager, MissionConfig, Payload};
+    pub use cibola_scrub::{
+        run_ensemble, run_mission, EnsembleConfig, FaultManager, MissionConfig, Payload,
+    };
 }

@@ -504,10 +504,26 @@ pub fn run_campaign_wide(tb: &Testbed, cfg: &CampaignConfig) -> CampaignResult {
 
     let start = Instant::now();
 
+    // Triage pass. Serial it was the campaign's Amdahl bottleneck: every
+    // bit funnelled through one probe device before any parallel work
+    // started. Each worker gets its own clone of the already-compiled
+    // probe; `with_min_len` keeps tiny campaigns from paying a clone per
+    // core for a handful of bits. Worker results come back in input
+    // order, so the partition below is identical to the serial one.
+    let classes: Vec<DeltaClass> = if cfg.parallel {
+        bits.par_iter()
+            .with_min_len(512)
+            .map_with(probe.clone(), |p, &b| delta.classify(p, b))
+            .collect()
+    } else {
+        bits.iter()
+            .map(|&b| delta.classify(&mut probe, b))
+            .collect()
+    };
     let mut lane_bits: Vec<(usize, LaneUpset)> = Vec::new();
     let mut structural: Vec<usize> = Vec::new();
-    for &b in &bits {
-        match delta.classify(&mut probe, b) {
+    for (&b, class) in bits.iter().zip(classes) {
+        match class {
             DeltaClass::Lane(u) => lane_bits.push((b, u)),
             DeltaClass::Benign => {}
             DeltaClass::Structural => structural.push(b),
@@ -540,11 +556,16 @@ pub fn run_campaign_wide(tb: &Testbed, cfg: &CampaignConfig) -> CampaignResult {
             .collect()
     };
 
-    // Lane pass: 63 experiments per batch.
+    // Lane pass: 63 experiments per batch. A full `WideEngine` clone is
+    // the per-worker cost, so guarantee each worker several batches to
+    // amortise it — small designs produce only a handful of batches, and
+    // one engine clone per batch-sized split is where the old near-flat
+    // parallel scaling went.
     let batches: Vec<&[(usize, LaneUpset)]> = lane_bits.chunks(wide.batch_capacity()).collect();
     let lane_sensitive: Vec<SensitiveBit> = if cfg.parallel {
         batches
             .par_iter()
+            .with_min_len(4)
             .map_with((wide.clone(), Vec::new()), |(w, out), chunk| {
                 run_wide_batch(w, out, tb, cfg, chunk)
             })

@@ -75,6 +75,15 @@ impl OrbitRates {
 
 /// A Poisson upset process over the payload, switchable between quiet and
 /// flare conditions.
+///
+/// Jump-ahead contract: the RNG is consumed *only* by the per-event
+/// samplers ([`next_upset_in`](Self::next_upset_in),
+/// [`pick_device`](Self::pick_device), [`rng`](Self::rng)) — never by
+/// wall-clock bookkeeping, and [`set_condition`](Self::set_condition)
+/// draws nothing. A simulator may therefore advance time by any stride
+/// between events (one scan round or a million) without perturbing the
+/// event stream; the event-driven mission kernel's bit-exactness rests on
+/// this, and `stream_is_independent_of_condition_queries` pins it.
 #[derive(Debug, Clone)]
 pub struct OrbitEnvironment {
     pub rates: OrbitRates,
@@ -91,6 +100,9 @@ impl OrbitEnvironment {
         }
     }
 
+    /// Switch the rate regime. Draws nothing from the RNG, so calling it
+    /// any number of times (e.g. once per skipped scan round, or never)
+    /// leaves the sample stream untouched.
     pub fn set_condition(&mut self, c: OrbitCondition) {
         self.condition = c;
     }
@@ -161,6 +173,32 @@ mod tests {
             (quiet_mean - 3000.0).abs() < 150.0,
             "quiet mean {quiet_mean}"
         );
+    }
+
+    #[test]
+    fn stream_is_independent_of_condition_queries() {
+        // The jump-ahead contract: redundant set_condition calls (one per
+        // visited round, in a round-ticking simulator) must not shift the
+        // RNG stream relative to an event-driven simulator that only
+        // touches the environment at event times.
+        let mut ticked = OrbitEnvironment::new(OrbitRates::default(), 99);
+        let mut jumped = OrbitEnvironment::new(OrbitRates::default(), 99);
+        for i in 0..200 {
+            // The round-ticking side hammers condition switches.
+            for _ in 0..50 {
+                ticked.set_condition(OrbitCondition::SolarFlare);
+                ticked.set_condition(OrbitCondition::Quiet);
+            }
+            if i % 2 == 0 {
+                ticked.set_condition(OrbitCondition::SolarFlare);
+                jumped.set_condition(OrbitCondition::SolarFlare);
+            } else {
+                ticked.set_condition(OrbitCondition::Quiet);
+                jumped.set_condition(OrbitCondition::Quiet);
+            }
+            assert_eq!(ticked.next_upset_in(), jumped.next_upset_in());
+            assert_eq!(ticked.pick_device(), jumped.pick_device());
+        }
     }
 
     #[test]

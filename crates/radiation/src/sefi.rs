@@ -125,6 +125,11 @@ pub struct SefiConfig {
 /// A Poisson SEFI process over the payload, switchable between quiet and
 /// flare conditions — the fault-management-path sibling of
 /// [`crate::OrbitEnvironment`].
+///
+/// It honours the same jump-ahead contract: RNG draws happen only in the
+/// per-event samplers, and [`set_condition`](Self::set_condition) draws
+/// nothing, so a simulator may skip any amount of event-free time without
+/// perturbing the SEFI stream.
 #[derive(Debug, Clone)]
 pub struct SefiProcess {
     pub rates: SefiRates,
@@ -203,6 +208,23 @@ mod tests {
         let flare_mean: f64 =
             (0..n).map(|_| p.next_event_in().as_secs_f64()).sum::<f64>() / n as f64;
         assert!(flare_mean < mean / 4.0, "flare accelerates SEFIs");
+    }
+
+    #[test]
+    fn stream_is_independent_of_condition_queries() {
+        // Jump-ahead contract (see the type docs): per-round condition
+        // refreshes must not shift the event stream.
+        let mut ticked = SefiProcess::new(SefiConfig::default(), 99);
+        let mut jumped = SefiProcess::new(SefiConfig::default(), 99);
+        for _ in 0..200 {
+            for _ in 0..50 {
+                ticked.set_condition(OrbitCondition::SolarFlare);
+                ticked.set_condition(OrbitCondition::Quiet);
+            }
+            assert_eq!(ticked.next_event_in(), jumped.next_event_in());
+            assert_eq!(ticked.pick_device(), jumped.pick_device());
+            assert_eq!(ticked.sample_kind(), jumped.sample_kind());
+        }
     }
 
     #[test]

@@ -14,9 +14,11 @@
 //! * [`manager`] — codebook, scan, repair; masked frames for LUT-RAM/BRAM.
 //! * [`payload`] — the 3-board × 3-FPGA SEM-E assembly with SOH logging.
 //! * [`mission`] — the payload in the LEO upset environment.
+//! * [`ensemble`] — parallel Monte-Carlo mission sweeps over seeds.
 
 pub mod crc;
 pub mod ecc;
+pub mod ensemble;
 pub mod flash;
 pub mod manager;
 pub mod mission;
@@ -25,12 +27,13 @@ pub mod uplink;
 
 pub use crc::{crc32, Crc32};
 pub use ecc::{decode as ecc_decode, encode as ecc_encode, CodeWord, EccOutcome};
+pub use ensemble::{run_ensemble, EnsembleConfig, EnsembleResult, EnsembleStats};
 pub use flash::{EccStats, Eeprom, Flash, FlashError};
 pub use manager::{
     dynamic_bits_for, masked_frames_for, CorruptFrame, CrcCodebook, DynamicBitMask, FaultManager,
     ScanReport,
 };
-pub use mission::{run_mission, MissionConfig, MissionStats};
+pub use mission::{run_mission, run_mission_reference, MissionConfig, MissionStats};
 pub use payload::{
     FpgaHealth, Payload, ScrubOutcome, ScrubPolicy, SohEvent, SohRecord, BOARDS, FPGAS_PER_BOARD,
 };

@@ -9,6 +9,20 @@
 //! the fraction of device-time free of outstanding behaviour-changing
 //! faults, judged against per-design sensitivity maps from the SEU
 //! simulator.
+//!
+//! Two drivers share one [`MissionKernel`]:
+//!
+//! * [`run_mission_reference`] ticks every scan round for the whole
+//!   mission — the original loop, kept as the ground truth.
+//! * [`run_mission`] is event-driven: it advances directly between the
+//!   timestamps where observable state can change (upset arrivals, SEFI
+//!   arrivals, scan rounds with outstanding work, periodic full-reconfig
+//!   deadlines), charging the skipped rounds' `scrub_cycles` in bulk.
+//!   Because a skipped round is provably the reference loop's
+//!   charged-time-only fast path on every device (see
+//!   [`MissionKernel::device_needs_scrub`]), both drivers produce
+//!   bit-identical [`MissionStats`] for any seed — the differential test
+//!   suite asserts exactly that, float for float.
 
 use std::collections::{HashMap, HashSet};
 
@@ -129,304 +143,537 @@ struct Outstanding {
     repairable: bool,
 }
 
-/// Run a mission. `sensitivity` maps (board, fpga) to that design's
-/// sensitive-bit set from an SEU-simulator campaign; positions without a
-/// map treat every unmasked configuration upset as potentially sensitive
-/// (conservative).
-pub fn run_mission(
-    payload: &mut Payload,
-    cfg: &MissionConfig,
-    sensitivity: &HashMap<(usize, usize), HashSet<usize>>,
-) -> MissionStats {
-    let positions = payload.positions();
-    let ndev = positions.len();
-    assert!(ndev > 0, "payload has no loaded designs");
+/// All mission state both drivers mutate, with the original round loop
+/// factored into phase methods (`land_upsets`, `land_sefis`,
+/// `scrub_round`, `periodic_refresh`). The phases are verbatim extractions
+/// of the historical loop body, so the reference and event-driven drivers
+/// differ *only* in which rounds they visit.
+struct MissionKernel<'a> {
+    payload: &'a mut Payload,
+    cfg: &'a MissionConfig,
+    sensitivity: &'a HashMap<(usize, usize), HashSet<usize>>,
+    positions: Vec<(usize, usize)>,
+    /// Device index without an O(ndev) scan: `positions` is board-major,
+    /// fpga-minor, so `(b, f)` lives at `board_base[b] + f`.
+    board_base: Vec<usize>,
+    ndev: usize,
+    env: OrbitEnvironment,
+    sefi: Option<SefiProcess>,
+    stats: MissionStats,
+    end: SimTime,
+    round: SimDuration,
+    live_boards: Vec<usize>,
+    next_upset: SimTime,
+    next_sefi: Option<SimTime>,
+    outstanding: Vec<Vec<Outstanding>>,
+    dirty: Vec<bool>,
+    latencies: Vec<SimDuration>,
+    unavailable: SimDuration,
+    last_refresh: Vec<SimTime>,
+    /// Reused per-board dirty-snapshot buffer.
+    board_dirty: Vec<bool>,
+    /// Whether the device's codebook *might* fail its self-check: set by
+    /// a codebook-upset SEFI, cleared once a scrub pass (whose rung 0
+    /// rebuilds a failing book) has run. Lets the skip predicate avoid
+    /// re-hashing every codebook between events.
+    codebook_suspect: Vec<bool>,
+}
 
-    let rates = OrbitRates {
-        devices: ndev,
-        ..cfg.rates
-    };
-    let mut env = OrbitEnvironment::new(rates, cfg.seed);
+impl<'a> MissionKernel<'a> {
+    fn new(
+        payload: &'a mut Payload,
+        cfg: &'a MissionConfig,
+        sensitivity: &'a HashMap<(usize, usize), HashSet<usize>>,
+    ) -> Self {
+        let positions = payload.positions();
+        let ndev = positions.len();
+        assert!(ndev > 0, "payload has no loaded designs");
+        let mut board_base = Vec::with_capacity(payload.boards.len());
+        let mut acc = 0usize;
+        for bd in &payload.boards {
+            board_base.push(acc);
+            acc += bd.fpgas.len();
+        }
+        debug_assert!(positions
+            .iter()
+            .enumerate()
+            .all(|(di, &(b, f))| board_base[b] + f == di));
 
-    // The SEFI process gets its own RNG stream, derived from the mission
-    // seed, so enabling it never perturbs the SEU stream (and a run with
-    // `sefi: None` is bit-identical to the pre-SEFI simulator).
-    let mut sefi = cfg.sefi.map(|c| {
-        let rates = SefiRates {
+        let rates = OrbitRates {
             devices: ndev,
-            ..c.rates
+            ..cfg.rates
         };
-        SefiProcess::new(
-            SefiConfig { rates, mix: c.mix },
-            cfg.seed ^ 0x5EF1_5EF1_5EF1_5EF1,
-        )
-    });
+        let mut env = OrbitEnvironment::new(rates, cfg.seed);
 
-    let mut stats = MissionStats::default();
-    let mut now = SimTime::ZERO;
-    let end = SimTime::ZERO + cfg.duration;
-    let mut next_upset = now + env.next_upset_in();
-    let mut next_sefi = sefi.as_mut().map(|p| now + p.next_event_in());
+        // The SEFI process gets its own RNG stream, derived from the
+        // mission seed, so enabling it never perturbs the SEU stream (and
+        // a run with `sefi: None` is bit-identical to the pre-SEFI
+        // simulator).
+        let mut sefi = cfg.sefi.map(|c| {
+            let rates = SefiRates {
+                devices: ndev,
+                ..c.rates
+            };
+            SefiProcess::new(
+                SefiConfig { rates, mix: c.mix },
+                cfg.seed ^ 0x5EF1_5EF1_5EF1_5EF1,
+            )
+        });
 
-    let mut outstanding: Vec<Vec<Outstanding>> = vec![Vec::new(); ndev];
-    let mut dirty: Vec<bool> = vec![false; ndev];
-    let mut latencies: Vec<SimDuration> = Vec::new();
-    let mut unavailable = SimDuration::ZERO;
-    let mut last_refresh: Vec<SimTime> = vec![SimTime::ZERO; ndev];
+        let mut stats = MissionStats::default();
+        let end = SimTime::ZERO + cfg.duration;
+        let next_upset = SimTime::ZERO + env.next_upset_in();
+        let next_sefi = sefi.as_mut().map(|p| SimTime::ZERO + p.next_event_in());
 
-    // Pre-compute board cycle durations for reporting.
-    let cycles: Vec<SimDuration> = (0..payload.boards.len())
-        .map(|b| payload.board_scan_cycle(b))
-        .collect();
-    let live_boards: Vec<usize> = (0..payload.boards.len())
-        .filter(|&b| !payload.boards[b].fpgas.is_empty())
-        .collect();
-    stats.scan_cycle_ms = live_boards
-        .iter()
-        .map(|&b| cycles[b].as_millis_f64())
-        .sum::<f64>()
-        / live_boards.len().max(1) as f64;
+        // Pre-compute board cycle durations for reporting.
+        let cycles: Vec<SimDuration> = (0..payload.boards.len())
+            .map(|b| payload.board_scan_cycle(b))
+            .collect();
+        let live_boards: Vec<usize> = (0..payload.boards.len())
+            .filter(|&b| !payload.boards[b].fpgas.is_empty())
+            .collect();
+        stats.scan_cycle_ms = live_boards
+            .iter()
+            .map(|&b| cycles[b].as_millis_f64())
+            .sum::<f64>()
+            / live_boards.len().max(1) as f64;
 
-    let round = live_boards
-        .iter()
-        .map(|&b| cycles[b])
-        .max()
-        .unwrap_or(SimDuration::from_millis(180));
+        let round = live_boards
+            .iter()
+            .map(|&b| cycles[b])
+            .max()
+            .unwrap_or(SimDuration::from_millis(180));
+        assert!(round.as_nanos() > 0, "scan round must be non-zero");
 
-    while now < end {
-        let round_end = now + round;
+        // Callers may hand over a payload whose codebooks are already
+        // corrupted; seed the suspect flags from one real self-check.
+        let codebook_suspect: Vec<bool> = positions
+            .iter()
+            .map(|&(b, f)| !payload.fpga(b, f).manager.codebook.self_check())
+            .collect();
 
-        // Land upsets arriving within this scan round.
-        while next_upset < round_end {
+        MissionKernel {
+            positions,
+            board_base,
+            ndev,
+            env,
+            sefi,
+            stats,
+            end,
+            round,
+            live_boards,
+            next_upset,
+            next_sefi,
+            outstanding: vec![Vec::new(); ndev],
+            dirty: vec![false; ndev],
+            latencies: Vec::new(),
+            unavailable: SimDuration::ZERO,
+            last_refresh: vec![SimTime::ZERO; ndev],
+            board_dirty: Vec::new(),
+            codebook_suspect,
+            payload,
+            cfg,
+            sensitivity,
+        }
+    }
+
+    /// Land upsets arriving strictly before `round_end`. RNG draws happen
+    /// once per *event*, never per round, so the stream is identical no
+    /// matter how the timeline between events is traversed.
+    fn land_upsets(&mut self, round_end: SimTime) {
+        while self.next_upset < round_end {
             // Flare window switches the arrival-rate regime.
-            let in_flare = cfg
+            let in_flare = self
+                .cfg
                 .flare
-                .map(|(a, b)| next_upset >= a && next_upset < b)
+                .map(|(a, b)| self.next_upset >= a && self.next_upset < b)
                 .unwrap_or(false);
-            env.set_condition(if in_flare {
+            self.env.set_condition(if in_flare {
                 OrbitCondition::SolarFlare
             } else {
                 OrbitCondition::Quiet
             });
 
-            let di = env.pick_device();
-            let (b, f) = positions[di];
-            stats.upsets_total += 1;
+            let di = self.env.pick_device();
+            let (b, f) = self.positions[di];
+            self.stats.upsets_total += 1;
             let target = {
-                let dev = &mut payload.fpga_mut(b, f).device;
-                cfg.mix.sample(dev, env.rng())
+                let dev = &mut self.payload.fpga_mut(b, f).device;
+                self.cfg.mix.sample(dev, self.env.rng())
             };
             let (sensitive, repairable) = match target {
                 UpsetTarget::ConfigBit(bit) => {
-                    stats.upsets_config += 1;
-                    let (addr, _) = payload.fpga(b, f).golden.locate(bit);
-                    let fidx = payload.fpga(b, f).golden.frame_index(addr);
-                    let masked = payload.fpga(b, f).manager.codebook.is_masked(fidx);
+                    self.stats.upsets_config += 1;
+                    let (addr, _) = self.payload.fpga(b, f).golden.locate(bit);
+                    let fidx = self.payload.fpga(b, f).golden.frame_index(addr);
+                    let masked = self.payload.fpga(b, f).manager.codebook.is_masked(fidx);
                     if masked {
-                        stats.upsets_config_masked += 1;
+                        self.stats.upsets_config_masked += 1;
                     }
-                    let sens = sensitivity
+                    let sens = self
+                        .sensitivity
                         .get(&(b, f))
                         .map(|m| m.contains(&bit))
                         .unwrap_or(true);
                     if sens {
-                        stats.sensitive_upsets += 1;
+                        self.stats.sensitive_upsets += 1;
                     }
                     (sens, !masked)
                 }
                 UpsetTarget::HalfLatch(_) => {
-                    stats.upsets_half_latch += 1;
+                    self.stats.upsets_half_latch += 1;
                     (true, false)
                 }
                 UpsetTarget::UserFf { .. } => {
-                    stats.upsets_user_ff += 1;
+                    self.stats.upsets_user_ff += 1;
                     // Transient user-state flip: flushed by the next reset;
                     // not a bitstream fault.
                     (false, false)
                 }
                 UpsetTarget::ConfigFsm => {
-                    stats.upsets_fsm += 1;
+                    self.stats.upsets_fsm += 1;
                     (true, true)
                 }
             };
             {
-                let dev = &mut payload.fpga_mut(b, f).device;
+                let dev = &mut self.payload.fpga_mut(b, f).device;
                 apply_upset(dev, target);
             }
-            outstanding[di].push(Outstanding {
-                at: next_upset,
+            self.outstanding[di].push(Outstanding {
+                at: self.next_upset,
                 sensitive,
                 repairable,
             });
-            dirty[di] = true;
-            next_upset += env.next_upset_in();
+            self.dirty[di] = true;
+            self.next_upset += self.env.next_upset_in();
         }
+    }
 
-        // Land SEFIs striking the fault-management machinery itself.
-        if let Some(p) = sefi.as_mut() {
-            let mut t = next_sefi.unwrap();
-            while t < round_end {
-                let in_flare = cfg.flare.map(|(a, b)| t >= a && t < b).unwrap_or(false);
-                p.set_condition(if in_flare {
-                    OrbitCondition::SolarFlare
-                } else {
-                    OrbitCondition::Quiet
-                });
+    /// Land SEFIs striking the fault-management machinery itself.
+    fn land_sefis(&mut self, round_end: SimTime) {
+        let Some(p) = self.sefi.as_mut() else { return };
+        let mut t = self.next_sefi.unwrap();
+        while t < round_end {
+            let in_flare = self
+                .cfg
+                .flare
+                .map(|(a, b)| t >= a && t < b)
+                .unwrap_or(false);
+            p.set_condition(if in_flare {
+                OrbitCondition::SolarFlare
+            } else {
+                OrbitCondition::Quiet
+            });
 
-                let di = p.pick_device();
-                let (b, f) = positions[di];
-                stats.sefis_injected += 1;
-                match p.sample_kind() {
-                    SefiKind::ReadbackCorrupt => {
-                        stats.sefi_readback_corrupt += 1;
-                        let bit_flips = p.rng().gen_range(1..=3);
-                        payload
-                            .fpga_mut(b, f)
-                            .device
-                            .inject_read_fault(ReadFault::Corrupt { bit_flips });
-                    }
-                    SefiKind::ReadbackAbort => {
-                        stats.sefi_readback_abort += 1;
-                        payload
-                            .fpga_mut(b, f)
-                            .device
-                            .inject_read_fault(ReadFault::Abort);
-                    }
-                    SefiKind::WriteSilentDrop => {
-                        stats.sefi_write_silent += 1;
-                        payload
-                            .fpga_mut(b, f)
-                            .device
-                            .inject_write_fault(WriteFault::SilentDrop);
-                    }
-                    SefiKind::PortWedge => {
-                        stats.sefi_port_wedge += 1;
-                        payload.fpga_mut(b, f).device.wedge_port();
-                    }
-                    SefiKind::Unprogram => {
-                        stats.sefi_unprogram += 1;
-                        payload.fpga_mut(b, f).device.upset_config_fsm();
-                        outstanding[di].push(Outstanding {
-                            at: t,
-                            sensitive: true,
-                            repairable: true,
-                        });
-                        dirty[di] = true;
-                    }
-                    SefiKind::CodebookUpset => {
-                        stats.codebook_upsets += 1;
-                        let book = &mut payload.fpga_mut(b, f).manager.codebook;
-                        let entry = p.rng().gen_range(0..book.frame_count());
-                        let bit = p.rng().gen_range(0..32);
-                        book.upset(entry, bit);
-                    }
+            let di = p.pick_device();
+            let (b, f) = self.positions[di];
+            self.stats.sefis_injected += 1;
+            match p.sample_kind() {
+                SefiKind::ReadbackCorrupt => {
+                    self.stats.sefi_readback_corrupt += 1;
+                    let bit_flips = p.rng().gen_range(1..=3);
+                    self.payload
+                        .fpga_mut(b, f)
+                        .device
+                        .inject_read_fault(ReadFault::Corrupt { bit_flips });
                 }
-                t += p.next_event_in();
+                SefiKind::ReadbackAbort => {
+                    self.stats.sefi_readback_abort += 1;
+                    self.payload
+                        .fpga_mut(b, f)
+                        .device
+                        .inject_read_fault(ReadFault::Abort);
+                }
+                SefiKind::WriteSilentDrop => {
+                    self.stats.sefi_write_silent += 1;
+                    self.payload
+                        .fpga_mut(b, f)
+                        .device
+                        .inject_write_fault(WriteFault::SilentDrop);
+                }
+                SefiKind::PortWedge => {
+                    self.stats.sefi_port_wedge += 1;
+                    self.payload.fpga_mut(b, f).device.wedge_port();
+                }
+                SefiKind::Unprogram => {
+                    self.stats.sefi_unprogram += 1;
+                    self.payload.fpga_mut(b, f).device.upset_config_fsm();
+                    self.outstanding[di].push(Outstanding {
+                        at: t,
+                        sensitive: true,
+                        repairable: true,
+                    });
+                    self.dirty[di] = true;
+                }
+                SefiKind::CodebookUpset => {
+                    self.stats.codebook_upsets += 1;
+                    let book = &mut self.payload.fpga_mut(b, f).manager.codebook;
+                    let entry = p.rng().gen_range(0..book.frame_count());
+                    let bit = p.rng().gen_range(0..32);
+                    book.upset(entry, bit);
+                    self.codebook_suspect[di] = true;
+                }
             }
-            next_sefi = Some(t);
+            t += p.next_event_in();
         }
+        self.next_sefi = Some(t);
+    }
 
-        // Scrub every board (they run concurrently; the round already
-        // spans the longest board).
-        for &b in &live_boards {
-            let nf = payload.boards[b].fpgas.len();
-            let d: Vec<bool> = (0..nf)
-                .map(|f| {
-                    let di = positions.iter().position(|&p| p == (b, f)).unwrap();
-                    dirty[di]
-                })
-                .collect();
-            let out = payload.scrub_board(b, now, &d);
-            stats.frames_repaired += out.frames_repaired;
-            stats.detected += out.frames_repaired;
-            stats.full_reconfigs += out.full_reconfigs;
-            stats.sefis_observed += out.sefis_observed;
-            stats.repair_retries += out.repair_retries;
-            stats.verify_failures += out.verify_failures;
-            stats.codebook_rebuilds += out.codebook_rebuilds;
-            stats.port_resets += out.port_resets;
-            stats.frames_escalated += out.frames_escalated;
-            stats.golden_uncorrectable += out.golden_uncorrectable;
-            stats.devices_degraded += out.devices_degraded;
+    /// Scrub every board (they run concurrently; the round already spans
+    /// the longest board), then settle dirty flags.
+    fn scrub_round(&mut self, now: SimTime, round_end: SimTime) {
+        for bi in 0..self.live_boards.len() {
+            let b = self.live_boards[bi];
+            let base = self.board_base[b];
+            let nf = self.payload.boards[b].fpgas.len();
+            self.board_dirty.clear();
+            for f in 0..nf {
+                let v = self.dirty[base + f];
+                self.board_dirty.push(v);
+            }
+            let out = self.payload.scrub_board(b, now, &self.board_dirty);
+            self.stats.frames_repaired += out.frames_repaired;
+            self.stats.detected += out.frames_repaired;
+            self.stats.full_reconfigs += out.full_reconfigs;
+            self.stats.sefis_observed += out.sefis_observed;
+            self.stats.repair_retries += out.repair_retries;
+            self.stats.verify_failures += out.verify_failures;
+            self.stats.codebook_rebuilds += out.codebook_rebuilds;
+            self.stats.port_resets += out.port_resets;
+            self.stats.frames_escalated += out.frames_escalated;
+            self.stats.golden_uncorrectable += out.golden_uncorrectable;
+            self.stats.devices_degraded += out.devices_degraded;
             for f in out.devices_cleaned {
-                let di = positions.iter().position(|&p| p == (b, f)).unwrap();
+                let di = base + f;
                 // Repairable outstanding faults are resolved; their
-                // unavailability window closes at round_end.
-                let mut rest = Vec::new();
-                for o in outstanding[di].drain(..) {
+                // unavailability window closes at round_end. `retain`
+                // visits in order, preserving the latency-push order of
+                // the historical drain-into-`rest` loop without its
+                // per-round allocation.
+                let latencies = &mut self.latencies;
+                let unavailable = &mut self.unavailable;
+                self.outstanding[di].retain(|o| {
                     if o.repairable {
                         latencies.push(round_end.since(o.at));
                         if o.sensitive {
-                            unavailable += round_end.since(o.at);
+                            *unavailable += round_end.since(o.at);
                         }
+                        false
                     } else {
-                        rest.push(o);
+                        true
                     }
-                }
-                outstanding[di] = rest;
+                });
                 // User-state upsets were flushed by the reset too.
-                dirty[di] = outstanding[di].iter().any(|o| o.repairable);
+                self.dirty[di] = self.outstanding[di].iter().any(|o| o.repairable);
+            }
+            // A pass that ended with the failure counter clear got past
+            // rung 0, i.e. the codebook passed self-check or was rebuilt.
+            // Failed passes (counter > 0) may have left it corrupt, but
+            // they also force every subsequent round to execute, so the
+            // stale suspect flag is never consulted for a skip.
+            for f in 0..nf {
+                let health = &self.payload.fpga(b, f).health;
+                if !health.degraded && health.consecutive_failures == 0 {
+                    self.codebook_suspect[base + f] = false;
+                }
             }
         }
         // Devices that were dirty only with unrepairable faults stay
         // flagged clean for scanning purposes (scan finds nothing).
-        for di in 0..ndev {
-            if dirty[di] && !outstanding[di].iter().any(|o| o.repairable) {
-                dirty[di] = false;
+        for di in 0..self.ndev {
+            if self.dirty[di] && !self.outstanding[di].iter().any(|o| o.repairable) {
+                self.dirty[di] = false;
             }
         }
+    }
 
-        // Periodic full reconfiguration: heals everything, including
-        // half-latches and other hidden state.
-        if let Some(period) = cfg.periodic_full_reconfig {
-            for (di, &(b, f)) in positions.iter().enumerate() {
-                // Degraded devices are out of the rotation entirely.
-                if payload.fpga(b, f).health.degraded {
+    /// Periodic full reconfiguration: heals everything, including
+    /// half-latches and other hidden state.
+    fn periodic_refresh(&mut self, round_end: SimTime) {
+        let Some(period) = self.cfg.periodic_full_reconfig else {
+            return;
+        };
+        for di in 0..self.ndev {
+            let (b, f) = self.positions[di];
+            // Degraded devices are out of the rotation entirely.
+            if self.payload.fpga(b, f).health.degraded {
+                continue;
+            }
+            if round_end.since(self.last_refresh[di]) >= period {
+                self.payload.full_reconfig(b, f, round_end);
+                self.stats.full_reconfigs += 1;
+                self.last_refresh[di] = round_end;
+                let unavailable = &mut self.unavailable;
+                for o in self.outstanding[di].drain(..) {
+                    if o.sensitive {
+                        *unavailable += round_end.since(o.at);
+                    }
+                }
+                self.dirty[di] = false;
+            }
+        }
+    }
+
+    /// One full scan round, exactly as the historical loop body ran it.
+    fn run_round(&mut self, now: SimTime, round_end: SimTime) {
+        self.land_upsets(round_end);
+        self.land_sefis(round_end);
+        self.scrub_round(now, round_end);
+        self.periodic_refresh(round_end);
+        self.stats.scrub_cycles += 1;
+    }
+
+    /// Would scrubbing this device in the next round change *any*
+    /// observable state? When every sub-check is false, `scrub_fpga` is
+    /// guaranteed to take its charged-time-only fast path: the codebook
+    /// self-check passes (rung 0 is a no-op), the port is healthy with no
+    /// latched SEFI faults to consume, the device is programmed and its
+    /// bitstream matches the codebook (`dirty` tracks every config upset
+    /// and FSM strike), and the `consecutive_failures = 0` reset the fast
+    /// path performs is idempotent. Degraded devices are skipped by
+    /// `scrub_board` unconditionally.
+    fn device_needs_scrub(&self, di: usize) -> bool {
+        let (b, f) = self.positions[di];
+        let fpga = self.payload.fpga(b, f);
+        if fpga.health.degraded {
+            return false;
+        }
+        // `codebook_suspect` stands in for hashing the codebook: clear
+        // means the last clean scrub pass (or construction) proved
+        // self_check passes and no codebook SEFI has landed since.
+        if self.dirty[di]
+            || fpga.health.consecutive_failures > 0
+            || !fpga.device.is_programmed()
+            || fpga.device.is_port_wedged()
+            || fpga.device.pending_port_faults() > 0
+            || self.codebook_suspect[di]
+        {
+            return true;
+        }
+        // Skip-safety invariant: never skip a device whose codebook
+        // would fail rung 0.
+        debug_assert!(fpga.manager.codebook.self_check());
+        false
+    }
+
+    fn any_device_needs_scrub(&self) -> bool {
+        (0..self.ndev).any(|di| self.device_needs_scrub(di))
+    }
+
+    /// The next round index ≥ `r` at which anything observable can happen:
+    /// `r` itself while any device has scrub work, else the round
+    /// containing the next upset/SEFI arrival or the round whose *end*
+    /// crosses a periodic full-reconfig deadline.
+    fn next_active_round(&self, r: u64, round_ns: u64) -> u64 {
+        if self.any_device_needs_scrub() {
+            return r;
+        }
+        let mut next = self.next_upset.as_nanos() / round_ns;
+        if let Some(t) = self.next_sefi {
+            next = next.min(t.as_nanos() / round_ns);
+        }
+        if let Some(period) = self.cfg.periodic_full_reconfig {
+            for di in 0..self.ndev {
+                let (b, f) = self.positions[di];
+                if self.payload.fpga(b, f).health.degraded {
                     continue;
                 }
-                if round_end.since(last_refresh[di]) >= period {
-                    payload.full_reconfig(b, f, round_end);
-                    stats.full_reconfigs += 1;
-                    last_refresh[di] = round_end;
-                    for o in outstanding[di].drain(..) {
-                        if o.sensitive {
-                            unavailable += round_end.since(o.at);
-                        }
-                    }
-                    dirty[di] = false;
+                let deadline = (self.last_refresh[di] + period).as_nanos();
+                // First round whose end `(rd + 1) * round` reaches the
+                // deadline.
+                let rd = deadline.div_ceil(round_ns).saturating_sub(1);
+                next = next.min(rd);
+            }
+        }
+        next.max(r)
+    }
+
+    /// Close out mission-end exposure and produce the final stats.
+    fn finish(mut self) -> MissionStats {
+        for dev_out in &self.outstanding {
+            for o in dev_out {
+                if o.sensitive {
+                    self.unavailable += self.end.since(o.at);
                 }
             }
         }
+        self.stats.outstanding_half_latches = self
+            .positions
+            .iter()
+            .map(|&(b, f)| self.payload.fpga(b, f).device.upset_half_latch_count())
+            .sum();
 
-        stats.scrub_cycles += 1;
+        if !self.latencies.is_empty() {
+            self.stats.detect_latency_mean_ms = self
+                .latencies
+                .iter()
+                .map(|d| d.as_millis_f64())
+                .sum::<f64>()
+                / self.latencies.len() as f64;
+            self.stats.detect_latency_max_ms = self
+                .latencies
+                .iter()
+                .map(|d| d.as_millis_f64())
+                .fold(0.0, f64::max);
+        }
+        self.stats.unavailable_ms = self.unavailable.as_millis_f64();
+        self.stats.availability = 1.0
+            - self.unavailable.as_secs_f64() / (self.cfg.duration.as_secs_f64() * self.ndev as f64);
+        self.stats.elapsed_s = self.cfg.duration.as_secs_f64();
+        self.stats.soh_records = self.payload.soh.len();
+        self.stats
+    }
+}
+
+/// Run a mission with the event-driven kernel. `sensitivity` maps
+/// (board, fpga) to that design's sensitive-bit set from an SEU-simulator
+/// campaign; positions without a map treat every unmasked configuration
+/// upset as potentially sensitive (conservative).
+///
+/// Produces [`MissionStats`] bit-identical to [`run_mission_reference`]
+/// for any seed and configuration, in time proportional to the number of
+/// *events* rather than the number of scan rounds — a quiet multi-month
+/// mission costs thousands of loop steps instead of hundreds of millions.
+pub fn run_mission(
+    payload: &mut Payload,
+    cfg: &MissionConfig,
+    sensitivity: &HashMap<(usize, usize), HashSet<usize>>,
+) -> MissionStats {
+    let mut k = MissionKernel::new(payload, cfg, sensitivity);
+    let round_ns = k.round.as_nanos();
+    let total_rounds = k.end.as_nanos().div_ceil(round_ns);
+    let mut r: u64 = 0;
+    while r < total_rounds {
+        let nr = k.next_active_round(r, round_ns).min(total_rounds);
+        if nr > r {
+            // Rounds (r..nr) are observable-state no-ops: charge their
+            // scrub-cycle accounting and jump.
+            k.stats.scrub_cycles += (nr - r) as usize;
+            r = nr;
+            continue;
+        }
+        let now = SimTime(r * round_ns);
+        let round_end = SimTime((r + 1) * round_ns);
+        k.run_round(now, round_end);
+        r += 1;
+    }
+    k.finish()
+}
+
+/// Run a mission by ticking every scan round — the original fixed-round
+/// loop, kept as the ground truth the event-driven [`run_mission`] is
+/// differentially tested against.
+pub fn run_mission_reference(
+    payload: &mut Payload,
+    cfg: &MissionConfig,
+    sensitivity: &HashMap<(usize, usize), HashSet<usize>>,
+) -> MissionStats {
+    let mut k = MissionKernel::new(payload, cfg, sensitivity);
+    let mut now = SimTime::ZERO;
+    while now < k.end {
+        let round_end = now + k.round;
+        k.run_round(now, round_end);
         now = round_end;
     }
-
-    // Close out mission-end exposure for unresolved sensitive faults.
-    for dev_out in &outstanding {
-        for o in dev_out {
-            if o.sensitive {
-                unavailable += end.since(o.at);
-            }
-        }
-    }
-    stats.outstanding_half_latches = positions
-        .iter()
-        .map(|&(b, f)| payload.fpga(b, f).device.upset_half_latch_count())
-        .sum();
-
-    if !latencies.is_empty() {
-        stats.detect_latency_mean_ms =
-            latencies.iter().map(|d| d.as_millis_f64()).sum::<f64>() / latencies.len() as f64;
-        stats.detect_latency_max_ms = latencies
-            .iter()
-            .map(|d| d.as_millis_f64())
-            .fold(0.0, f64::max);
-    }
-    stats.unavailable_ms = unavailable.as_millis_f64();
-    stats.availability =
-        1.0 - unavailable.as_secs_f64() / (cfg.duration.as_secs_f64() * ndev as f64);
-    stats.elapsed_s = cfg.duration.as_secs_f64();
-    stats.soh_records = payload.soh.len();
-    stats
+    k.finish()
 }

@@ -15,19 +15,31 @@ pub mod prelude {
     pub use crate::{IntoParallelRefIterator, ParIter, ParResults};
 }
 
-/// Number of worker threads to use for `n` items.
-fn worker_count(n: usize) -> usize {
-    std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(1)
-        .min(n)
-        .max(1)
+/// Size of the thread pool: `RAYON_NUM_THREADS` if set to a positive
+/// integer (mirroring real rayon, which lets the pool exceed the core
+/// count), else the machine's available parallelism.
+fn pool_size() -> usize {
+    std::env::var("RAYON_NUM_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&t| t > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1)
+        })
+}
+
+/// Number of worker threads to use for `n` items of which at least
+/// `min_len` should go to each worker.
+fn worker_count(n: usize, min_len: usize) -> usize {
+    pool_size().min(n / min_len.max(1)).max(1)
 }
 
 /// Parallel map with one mutable state per worker thread. Items are pulled
 /// off a shared cursor so expensive items do not serialize behind a static
 /// partition. Output is restored to input order before returning.
-fn par_map_with<'data, T, S, R, F>(items: &'data [T], init: S, f: F) -> Vec<R>
+fn par_map_with<'data, T, S, R, F>(items: &'data [T], min_len: usize, init: S, f: F) -> Vec<R>
 where
     T: Sync,
     S: Clone + Send,
@@ -38,7 +50,7 @@ where
     if n == 0 {
         return Vec::new();
     }
-    let threads = worker_count(n);
+    let threads = worker_count(n, min_len);
     if threads == 1 {
         let mut state = init;
         return items.iter().map(|t| f(&mut state, t)).collect();
@@ -82,30 +94,45 @@ pub trait IntoParallelRefIterator<'data> {
 impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
     type Item = T;
     fn par_iter(&'data self) -> ParIter<'data, T> {
-        ParIter { items: self }
+        ParIter {
+            items: self,
+            min_len: 1,
+        }
     }
 }
 
 impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
     type Item = T;
     fn par_iter(&'data self) -> ParIter<'data, T> {
-        ParIter { items: self }
+        ParIter {
+            items: self,
+            min_len: 1,
+        }
     }
 }
 
 /// Borrowed parallel iterator over a slice.
 pub struct ParIter<'data, T> {
     items: &'data [T],
+    min_len: usize,
 }
 
 impl<'data, T: Sync> ParIter<'data, T> {
+    /// Guarantee each worker at least `min` items, bounding how many
+    /// per-worker states (`map_with` clones) a small input can spawn.
+    /// Mirrors rayon's `with_min_len` split-granularity control.
+    pub fn with_min_len(mut self, min: usize) -> Self {
+        self.min_len = min.max(1);
+        self
+    }
+
     pub fn map<R, F>(self, f: F) -> ParResults<R>
     where
         R: Send,
         F: Fn(&'data T) -> R + Sync,
     {
         ParResults {
-            items: par_map_with(self.items, (), |_, t| f(t)),
+            items: par_map_with(self.items, self.min_len, (), |_, t| f(t)),
         }
     }
 
@@ -116,7 +143,7 @@ impl<'data, T: Sync> ParIter<'data, T> {
         F: Fn(&mut S, &'data T) -> R + Sync,
     {
         ParResults {
-            items: par_map_with(self.items, init, f),
+            items: par_map_with(self.items, self.min_len, init, f),
         }
     }
 }
@@ -156,6 +183,17 @@ mod tests {
         let v: Vec<usize> = (0..1000).collect();
         let out: Vec<usize> = v.par_iter().map(|&x| x * 2).collect();
         assert_eq!(out, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn with_min_len_preserves_order_and_bounds_workers() {
+        let v: Vec<usize> = (0..100).collect();
+        let out: Vec<usize> = v.par_iter().with_min_len(32).map(|&x| x + 1).collect();
+        assert_eq!(out, (1..101).collect::<Vec<_>>());
+        // 100 items at min_len 32 → at most 3 workers regardless of pool.
+        assert!(super::worker_count(100, 32) <= 3);
+        // min_len larger than the input degenerates to serial.
+        assert_eq!(super::worker_count(10, 64), 1);
     }
 
     #[test]
