@@ -19,6 +19,7 @@ use std::collections::VecDeque;
 
 use crate::permfault::{FaultSite, PermFaults};
 use crate::selectmap::{PortTiming, ReadFault, WriteFault};
+use cibola_telemetry::PortFaultStats;
 
 /// A full configuration image, as stored in the payload's FLASH module.
 pub type Bitstream = ConfigMemory;
@@ -72,6 +73,10 @@ pub struct Device {
     /// The port is wedged (SelectMAP SEFI); every port operation fails
     /// until [`Device::port_reset`].
     pub(crate) port_wedged: bool,
+    /// Running tallies of port faults observed by the `try_*` operations.
+    /// Plain `Copy` counters — `Device` is cloned on hot campaign paths
+    /// and cannot carry a telemetry handle.
+    pub(crate) port_faults: PortFaultStats,
     pub(crate) compiled: Option<Compiled>,
 }
 
@@ -95,6 +100,7 @@ impl Clone for Device {
             read_faults: self.read_faults.clone(),
             write_faults: self.write_faults.clone(),
             port_wedged: self.port_wedged,
+            port_faults: self.port_faults,
             // The compiled network is a cache; rebuild lazily in the clone.
             compiled: None,
         }
@@ -122,6 +128,7 @@ impl Device {
             read_faults: VecDeque::new(),
             write_faults: VecDeque::new(),
             port_wedged: false,
+            port_faults: PortFaultStats::default(),
             compiled: None,
             config,
             geom,
@@ -251,6 +258,18 @@ impl Device {
     /// Injected port faults not yet consumed by a port operation.
     pub fn pending_port_faults(&self) -> usize {
         self.read_faults.len() + self.write_faults.len()
+    }
+
+    /// Tallies of port faults observed by the `try_*` operations and
+    /// [`Device::port_reset`] since power-on (or since the last
+    /// [`Device::clear_port_fault_stats`]).
+    pub fn port_fault_stats(&self) -> PortFaultStats {
+        self.port_faults
+    }
+
+    /// Zero the port-fault tallies (e.g. between campaign experiments).
+    pub fn clear_port_fault_stats(&mut self) {
+        self.port_faults = PortFaultStats::default();
     }
 
     // ---- permanent faults --------------------------------------------------

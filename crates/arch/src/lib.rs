@@ -50,6 +50,7 @@ pub mod selectmap;
 pub mod time;
 
 pub use bitvec::BitVec;
+pub use cibola_telemetry::PortFaultStats;
 pub use delta::{DeltaClass, DeltaMap, LaneUpset};
 pub use device::{Bitstream, Device, NetworkStats};
 pub use engine_wide::{same_topology, WideClass, WideEngine, WideTarget, LANES};

@@ -343,15 +343,21 @@ impl Device {
             .port_timing
             .frame_op(self.config.frame_bytes(addr.block));
         if self.port_wedged {
+            self.port_faults.wedged_rejections += 1;
             return (Err(PortError::Wedged), dur);
         }
         match self.read_faults.pop_front() {
-            Some(ReadFault::Abort) => (Err(PortError::Aborted), dur),
+            Some(ReadFault::Abort) => {
+                self.port_faults.read_aborts += 1;
+                (Err(PortError::Aborted), dur)
+            }
             Some(ReadFault::Wedge) => {
                 self.port_wedged = true;
+                self.port_faults.wedges += 1;
                 (Err(PortError::Wedged), dur)
             }
             Some(ReadFault::Corrupt { bit_flips }) => {
+                self.port_faults.read_corruptions += 1;
                 let (mut data, dur) = self.readback_frame(addr, opts);
                 let nbits = data.len() * 8;
                 for _ in 0..bit_flips {
@@ -386,12 +392,17 @@ impl Device {
             .port_timing
             .frame_op(self.config.frame_bytes(addr.block));
         if self.port_wedged {
+            self.port_faults.wedged_rejections += 1;
             return (Err(PortError::Wedged), dur);
         }
         match self.write_faults.pop_front() {
-            Some(WriteFault::SilentDrop) => (Ok(()), dur),
+            Some(WriteFault::SilentDrop) => {
+                self.port_faults.write_drops += 1;
+                (Ok(()), dur)
+            }
             Some(WriteFault::Wedge) => {
                 self.port_wedged = true;
+                self.port_faults.wedges += 1;
                 (Err(PortError::Wedged), dur)
             }
             None => {
@@ -409,6 +420,7 @@ impl Device {
         self.port_wedged = false;
         self.read_faults.clear();
         self.write_faults.clear();
+        self.port_faults.resets += 1;
         SimDuration::from_nanos(self.port_timing.startup_ns)
     }
 

@@ -32,7 +32,7 @@ use std::time::Instant;
 use cibola::prelude::*;
 use cibola_bench::Args;
 use cibola_netlist::gen;
-use cibola_scrub::{run_ensemble, run_mission_reference, EnsembleConfig};
+use cibola_scrub::{run_ensemble, run_mission_reference, EnsembleConfig, MissionStats};
 
 fn env_usize(key: &str, default: usize) -> usize {
     std::env::var(key)
@@ -94,6 +94,33 @@ fn main() {
         ref_stats.scrub_cycles
     );
 
+    // ---- instrumentation overhead on the quiet kernel ----
+    // Same mission, disabled vs recording sink; best-of-3 each so a cold
+    // first lap doesn't masquerade as telemetry cost. The recording run's
+    // stats must stay bit-identical — telemetry observes, never steers.
+    let time_with = |telemetry: Telemetry| -> (f64, MissionStats) {
+        let mut best = f64::INFINITY;
+        let mut stats = None;
+        for _ in 0..3 {
+            let mut payload = nine_fpga_payload(&geom).with_telemetry(telemetry.clone());
+            let start = Instant::now();
+            let s = run_mission(&mut payload, &quiet, &sensitivity);
+            best = best.min(start.elapsed().as_secs_f64());
+            stats = Some(s);
+        }
+        (best, stats.unwrap())
+    };
+    let (plain_secs, plain_stats) = time_with(Telemetry::disabled());
+    let (telem_secs, telem_stats) = time_with(Telemetry::recording());
+    assert_eq!(
+        plain_stats, telem_stats,
+        "recording sink perturbed the mission"
+    );
+    let telemetry_overhead_pct = 100.0 * (telem_secs - plain_secs) / plain_secs.max(1e-9);
+    println!(
+        "kernel   telemetry overhead: disabled {plain_secs:>8.4} s | recording {telem_secs:>8.4} s | {telemetry_overhead_pct:>+6.2}%"
+    );
+
     // ---- ensemble: accelerated-storm mission over seeds ----
     // No SEFI process here: a latched write-drop SEFI keeps a device's
     // port-fault queue non-empty until a repair consumes it, which
@@ -117,6 +144,7 @@ fn main() {
         base_seed: 0x00E5_EB1E,
         missions,
         parallel: true,
+        telemetry: Telemetry::disabled(),
     };
 
     let mut ensemble_rows: Vec<(usize, f64, f64)> = Vec::new();
@@ -163,6 +191,10 @@ fn main() {
     );
     json.push_str("  ],\n");
     let _ = writeln!(json, "  \"kernel_speedup\": {kernel_speedup:.1},");
+    let _ = writeln!(
+        json,
+        "  \"telemetry_overhead_pct\": {telemetry_overhead_pct:.2},"
+    );
     let _ = writeln!(json, "  \"ensemble_mission_hours\": 12,");
     let _ = writeln!(json, "  \"ensemble_missions\": {missions},");
     json.push_str("  \"ensemble\": [\n");

@@ -1,0 +1,86 @@
+//! Lint a telemetry JSONL dump: every line must parse as a JSON object
+//! carrying at least `t_ns` and `name`, and event timestamps must never
+//! exceed a `--max-t-ns` horizon when one is given. CI runs this over the
+//! dump `orbit_mission --telemetry` produces, so a schema regression in
+//! any instrumented crate fails the build rather than silently shipping
+//! an unreadable flight record.
+//!
+//! Usage: `telemetry_lint <dump.jsonl> [--max-t-ns N]`
+//!
+//! Exits non-zero on the first malformed line, reporting its number and
+//! the parse error position.
+
+use std::process::ExitCode;
+
+use cibola_telemetry::validate_telemetry_line;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let Some(path) = args.next() else {
+        eprintln!("usage: telemetry_lint <dump.jsonl> [--max-t-ns N]");
+        return ExitCode::FAILURE;
+    };
+    let mut max_t_ns: Option<u64> = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--max-t-ns" => {
+                max_t_ns = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--max-t-ns needs an integer"),
+                );
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let dump = match std::fs::read_to_string(&path) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("{path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut lines = 0usize;
+    for (lineno, line) in dump.lines().enumerate() {
+        if line.is_empty() {
+            continue;
+        }
+        if let Err(e) = validate_telemetry_line(line) {
+            eprintln!("{path}:{}: {} (at byte {})", lineno + 1, e.message, e.at);
+            return ExitCode::FAILURE;
+        }
+        if let Some(horizon) = max_t_ns {
+            // Cheap field probe: the writer puts `t_ns` first, so the
+            // prefix is fixed; validate_telemetry_line already proved the
+            // shape.
+            let t: Option<u64> = line
+                .strip_prefix("{\"t_ns\":")
+                .and_then(|rest| rest.split(&[',', '}'][..]).next())
+                .and_then(|v| v.parse().ok());
+            match t {
+                Some(t) if t > horizon => {
+                    eprintln!("{path}:{}: t_ns {t} exceeds horizon {horizon}", lineno + 1);
+                    return ExitCode::FAILURE;
+                }
+                Some(_) => {}
+                None => {
+                    eprintln!("{path}:{}: t_ns is not the leading key", lineno + 1);
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        lines += 1;
+    }
+
+    if lines == 0 {
+        eprintln!("{path}: no telemetry lines — instrumentation produced nothing");
+        return ExitCode::FAILURE;
+    }
+    println!("{path}: {lines} line(s) OK");
+    ExitCode::SUCCESS
+}

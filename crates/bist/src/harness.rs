@@ -5,6 +5,7 @@
 
 use cibola_arch::{Device, FaultSite, Geometry, SimDuration, Tile};
 use cibola_netlist::{implement, NetlistSim};
+use cibola_telemetry::{Severity, Subsystem, Telemetry, TelemetryEvent};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -52,6 +53,9 @@ pub struct BistSuite {
     pub wire_rows: Vec<usize>,
     /// Registers per CLB-test instance.
     pub clb_registers: usize,
+    /// Diagnosis-outcome sink, keyed on cumulative suite sim time.
+    /// Disabled by default.
+    pub telemetry: Telemetry,
 }
 
 impl BistSuite {
@@ -60,6 +64,7 @@ impl BistSuite {
             geom: geom.clone(),
             wire_rows: (0..geom.rows).collect(),
             clb_registers: 4,
+            telemetry: Telemetry::disabled(),
         }
     }
 
@@ -68,7 +73,13 @@ impl BistSuite {
             geom: geom.clone(),
             wire_rows: vec![0, geom.rows / 2],
             clb_registers: 3,
+            telemetry: Telemetry::disabled(),
         }
+    }
+
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
     }
 
     /// Run the suite against a device carrying `dev`'s permanent faults.
@@ -147,12 +158,48 @@ pub fn coverage_campaign(
         if hit {
             detected += 1;
         }
+        suite.telemetry.emit_with(|| {
+            // An escaped hard fault is the outcome the paper's diagnostic
+            // configurations exist to prevent — flag it above the noise.
+            let sev = if hit {
+                Severity::Info
+            } else {
+                Severity::Warning
+            };
+            TelemetryEvent::point(Subsystem::Bist, sev, "bist.diagnosis", duration.as_nanos())
+                .with_bool("stuck", stuck)
+                .with_bool("detected", hit)
+                .with_str("caught_by", caught_by.unwrap_or("none"))
+        });
         outcomes.push(FaultOutcome {
             site,
             stuck,
             detected: hit,
             caught_by,
         });
+    }
+
+    if suite.telemetry.is_enabled() {
+        suite.telemetry.inc("bist.faults_injected", count as u64);
+        suite.telemetry.inc("bist.detected", detected as u64);
+        suite
+            .telemetry
+            .inc("bist.missed", (count - detected) as u64);
+        suite.telemetry.gauge(
+            "bist.coverage",
+            if count == 0 {
+                1.0
+            } else {
+                detected as f64 / count as f64
+            },
+        );
+        suite.telemetry.emit(
+            TelemetryEvent::span(Subsystem::Bist, "bist.campaign", 0, duration.as_nanos())
+                .with_severity(Severity::Info)
+                .with_u64("injected", count as u64)
+                .with_u64("detected", detected as u64)
+                .with_u64("configurations", configs as u64),
+        );
     }
 
     BistCoverage {

@@ -17,6 +17,7 @@
 //! | The SEU simulator: campaigns, persistence, validation | [`inject`] | §III |
 //! | BIST for permanent faults | [`bist`] | §II-B |
 //! | RadDRC half-latch removal, (selective) TMR | [`mitigate`] | §III |
+//! | Flight-recorder telemetry, metrics, SOH downlink budget | [`telemetry`] | §II-A |
 //!
 //! ## Quickstart
 //!
@@ -43,6 +44,7 @@ pub use cibola_mitigate as mitigate;
 pub use cibola_netlist as netlist;
 pub use cibola_radiation as radiation;
 pub use cibola_scrub as scrub;
+pub use cibola_telemetry as telemetry;
 
 pub mod designs;
 
@@ -64,5 +66,9 @@ pub mod prelude {
     pub use cibola_radiation::{BeamConfig, OrbitEnvironment, OrbitRates, ProtonBeam, TargetMix};
     pub use cibola_scrub::{
         run_ensemble, run_mission, EnsembleConfig, FaultManager, MissionConfig, Payload,
+    };
+    pub use cibola_telemetry::{
+        EscalationRung, LadderStats, Severity, SohDownlinkPolicy, Telemetry, TelemetryConfig,
+        TelemetryEvent,
     };
 }

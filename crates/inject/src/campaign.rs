@@ -15,6 +15,7 @@ use std::time::Instant;
 use cibola_arch::{
     same_topology, DeltaClass, DeltaMap, Device, LaneUpset, SimDuration, WideEngine,
 };
+use cibola_telemetry::{Severity, Subsystem, Telemetry, TelemetryEvent, THROUGHPUT_BUCKETS};
 use rand::rngs::SmallRng;
 use rand::{seq::SliceRandom, SeedableRng};
 use rayon::prelude::*;
@@ -58,6 +59,10 @@ pub struct CampaignConfig {
     pub timing: InjectTiming,
     /// Fan out over rayon.
     pub parallel: bool,
+    /// Campaign-progress sink (summary events are keyed on *simulated*
+    /// testbed time; host-derived throughput goes to metrics only).
+    /// Disabled by default.
+    pub telemetry: Telemetry,
 }
 
 impl Default for CampaignConfig {
@@ -70,6 +75,7 @@ impl Default for CampaignConfig {
             selection: BitSelection::ActiveClosure,
             timing: InjectTiming::default(),
             parallel: true,
+            telemetry: Telemetry::disabled(),
         }
     }
 }
@@ -323,6 +329,39 @@ fn campaign_sim_time(cfg: &CampaignConfig, tested: usize, sensitive: usize) -> S
     sim_time
 }
 
+/// Campaign summary instrumentation. The span is keyed on the *simulated*
+/// testbed time the campaign represents; host-derived throughput goes
+/// only to the metrics registry, never the deterministic event stream.
+fn emit_campaign_summary(
+    cfg: &CampaignConfig,
+    injections: usize,
+    inert_bits: usize,
+    sensitive: usize,
+    sim_ns: u64,
+    host_seconds: f64,
+) {
+    if !cfg.telemetry.is_enabled() {
+        return;
+    }
+    cfg.telemetry.inc("inject.injections", injections as u64);
+    cfg.telemetry.inc("inject.inert_bits", inert_bits as u64);
+    cfg.telemetry.inc("inject.sensitive", sensitive as u64);
+    if host_seconds > 0.0 {
+        cfg.telemetry.observe(
+            "inject.classify_bits_per_sec",
+            THROUGHPUT_BUCKETS,
+            injections as f64 / host_seconds,
+        );
+    }
+    cfg.telemetry.emit(
+        TelemetryEvent::span(Subsystem::Inject, "inject.campaign", 0, sim_ns)
+            .with_severity(Severity::Info)
+            .with_u64("injections", injections as u64)
+            .with_u64("inert", inert_bits as u64)
+            .with_u64("sensitive", sensitive as u64),
+    );
+}
+
 /// Run a full campaign.
 pub fn run_campaign(tb: &Testbed, cfg: &CampaignConfig) -> CampaignResult {
     let total_bits = tb.total_bits();
@@ -348,6 +387,14 @@ pub fn run_campaign(tb: &Testbed, cfg: &CampaignConfig) -> CampaignResult {
     sensitive.sort_by_key(|s| s.bit);
 
     let sim_time = campaign_sim_time(cfg, bits.len() + inert_bits, sensitive.len());
+    emit_campaign_summary(
+        cfg,
+        bits.len(),
+        inert_bits,
+        sensitive.len(),
+        sim_time.as_nanos(),
+        host_seconds,
+    );
 
     CampaignResult {
         design: tb.report.name.clone(),
@@ -529,6 +576,14 @@ pub fn run_campaign_wide(tb: &Testbed, cfg: &CampaignConfig) -> CampaignResult {
             DeltaClass::Structural => structural.push(b),
         }
     }
+    if cfg.telemetry.is_enabled() {
+        let benign = bits.len() - lane_bits.len() - structural.len();
+        cfg.telemetry
+            .inc("inject.lane_bits", lane_bits.len() as u64);
+        cfg.telemetry
+            .inc("inject.structural_bits", structural.len() as u64);
+        cfg.telemetry.inc("inject.benign_bits", benign as u64);
+    }
 
     // Structural pass: one recompile decides most bits; only genuine
     // topology changes pay for an observe window (already compiled).
@@ -562,6 +617,13 @@ pub fn run_campaign_wide(tb: &Testbed, cfg: &CampaignConfig) -> CampaignResult {
     // one engine clone per batch-sized split is where the old near-flat
     // parallel scaling went.
     let batches: Vec<&[(usize, LaneUpset)]> = lane_bits.chunks(wide.batch_capacity()).collect();
+    if cfg.telemetry.is_enabled() && !batches.is_empty() {
+        // Fraction of wide-engine lane slots carrying a live experiment:
+        // < 1.0 only on the final ragged batch.
+        let slots = (batches.len() * wide.batch_capacity()) as f64;
+        cfg.telemetry
+            .gauge("inject.lane_utilization", lane_bits.len() as f64 / slots);
+    }
     let lane_sensitive: Vec<SensitiveBit> = if cfg.parallel {
         batches
             .par_iter()
@@ -585,6 +647,14 @@ pub fn run_campaign_wide(tb: &Testbed, cfg: &CampaignConfig) -> CampaignResult {
     sensitive.sort_by_key(|s| s.bit);
 
     let sim_time = campaign_sim_time(cfg, bits.len() + inert_bits, sensitive.len());
+    emit_campaign_summary(
+        cfg,
+        bits.len(),
+        inert_bits,
+        sensitive.len(),
+        sim_time.as_nanos(),
+        host_seconds,
+    );
 
     CampaignResult {
         design: tb.report.name.clone(),

@@ -11,6 +11,7 @@
 
 use std::collections::{HashMap, HashSet};
 
+use cibola_telemetry::{LadderStats, Severity, Subsystem, Telemetry, TelemetryEvent};
 use rayon::prelude::*;
 
 use crate::mission::{run_mission, MissionConfig, MissionStats};
@@ -32,6 +33,10 @@ pub struct EnsembleConfig {
     /// Fan the members out across the rayon pool (`false` = serial, for
     /// baselining; results are identical either way).
     pub parallel: bool,
+    /// Ensemble-level sink: per-member summary events are emitted here
+    /// *after* the fan-out, in member order, so the record is thread-count
+    /// invariant. Disabled by default.
+    pub telemetry: Telemetry,
 }
 
 impl Default for EnsembleConfig {
@@ -41,6 +46,7 @@ impl Default for EnsembleConfig {
             base_seed: 0x00E5_EB1E,
             missions: 16,
             parallel: true,
+            telemetry: Telemetry::disabled(),
         }
     }
 }
@@ -83,13 +89,9 @@ pub struct EnsembleStats {
     pub frames_repaired: usize,
     pub full_reconfigs: usize,
     pub sefis_injected: usize,
-    // ---- escalation-rung totals (PR 2 ladder, rungs 1–5) ----
-    pub repair_retries: usize,
-    pub verify_failures: usize,
-    pub codebook_rebuilds: usize,
-    pub port_resets: usize,
-    pub frames_escalated: usize,
-    pub devices_degraded: usize,
+    /// Escalation-ladder totals — the shared counter block merged across
+    /// every member's `MissionStats`.
+    pub ladder: LadderStats,
 }
 
 /// Everything an ensemble run produced: per-member seeds and stats (in
@@ -147,12 +149,7 @@ fn aggregate(runs: &[MissionStats]) -> EnsembleStats {
         s.frames_repaired += r.frames_repaired;
         s.full_reconfigs += r.full_reconfigs;
         s.sefis_injected += r.sefis_injected;
-        s.repair_retries += r.repair_retries;
-        s.verify_failures += r.verify_failures;
-        s.codebook_rebuilds += r.codebook_rebuilds;
-        s.port_resets += r.port_resets;
-        s.frames_escalated += r.frames_escalated;
-        s.devices_degraded += r.devices_degraded;
+        s.ladder.merge(&r.ladder);
     }
     s
 }
@@ -189,6 +186,32 @@ where
         indices.iter().map(fly).collect()
     };
     let stats = aggregate(&runs);
+    // Per-member summaries, emitted after the fan-out in member order:
+    // the event stream is identical for any RAYON_NUM_THREADS.
+    if cfg.telemetry.is_enabled() {
+        let end_ns = cfg.mission.duration.as_nanos();
+        for (i, r) in runs.iter().enumerate() {
+            cfg.telemetry.emit(
+                TelemetryEvent::point(
+                    Subsystem::Ensemble,
+                    Severity::Info,
+                    "ensemble.member",
+                    end_ns,
+                )
+                .with_u64("member", i as u64)
+                .with_u64("seed", seeds[i])
+                .with_u64("upsets", r.upsets_total as u64)
+                .with_u64("degraded", r.ladder.devices_degraded as u64)
+                .with_f64("availability", r.availability),
+            );
+            cfg.telemetry.observe(
+                "ensemble.availability",
+                cibola_telemetry::metrics::AVAILABILITY_BUCKETS,
+                r.availability,
+            );
+        }
+        cfg.telemetry.inc("ensemble.missions", runs.len() as u64);
+    }
     EnsembleResult { stats, seeds, runs }
 }
 

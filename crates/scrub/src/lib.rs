@@ -25,6 +25,10 @@ pub mod mission;
 pub mod payload;
 pub mod uplink;
 
+pub use cibola_telemetry::{
+    EscalationRung, LadderStats, PortFaultStats, Severity, SohDownlinkPolicy, Telemetry,
+    TelemetryEvent,
+};
 pub use crc::{crc32, Crc32};
 pub use ecc::{decode as ecc_decode, encode as ecc_encode, CodeWord, EccOutcome};
 pub use ensemble::{run_ensemble, EnsembleConfig, EnsembleResult, EnsembleStats};
@@ -35,6 +39,7 @@ pub use manager::{
 };
 pub use mission::{run_mission, run_mission_reference, MissionConfig, MissionStats};
 pub use payload::{
-    FpgaHealth, Payload, ScrubOutcome, ScrubPolicy, SohEvent, SohRecord, BOARDS, FPGAS_PER_BOARD,
+    soh_event_meta, FpgaHealth, Payload, ScrubOutcome, ScrubPolicy, SohEvent, SohRecord, BOARDS,
+    FPGAS_PER_BOARD,
 };
-pub use uplink::GroundLink;
+pub use uplink::{GroundLink, SOH_RECORD_BYTES};

@@ -32,9 +32,13 @@ use cibola_radiation::target::{apply_upset, UpsetTarget};
 use cibola_radiation::{
     OrbitCondition, OrbitEnvironment, OrbitRates, SefiConfig, SefiKind, SefiProcess, TargetMix,
 };
+use cibola_telemetry::{
+    plan_downlink, LadderStats, Severity, SohDownlinkPolicy, Subsystem, TelemetryEvent,
+    LATENCY_MS_BUCKETS,
+};
 use rand::Rng;
 
-use crate::payload::Payload;
+use crate::payload::{soh_event_meta, Payload};
 
 /// Mission parameters.
 ///
@@ -58,6 +62,11 @@ pub struct MissionConfig {
     /// SRAM-resident CRC codebook. `None` (the default) disables it and
     /// leaves the mission bit-identical to the SEFI-free simulator.
     pub sefi: Option<SefiConfig>,
+    /// Optional SOH downlink budget. When set, mission end plans the SOH
+    /// record stream into ground passes under this policy and surfaces the
+    /// shed count in [`MissionStats::soh_shed_events`]. Planning is
+    /// post-hoc over the SOH log, so it never perturbs mission dynamics.
+    pub soh_downlink: Option<SohDownlinkPolicy>,
     pub seed: u64,
 }
 
@@ -70,6 +79,7 @@ impl Default for MissionConfig {
             flare: None,
             periodic_full_reconfig: None,
             sefi: None,
+            soh_downlink: None,
             seed: 0xC1B01A,
         }
     }
@@ -116,22 +126,16 @@ pub struct MissionStats {
     pub sefi_port_wedge: usize,
     pub sefi_unprogram: usize,
     pub codebook_upsets: usize,
-    /// Port SEFIs the scrub machinery actually observed (aborts, wedges).
-    pub sefis_observed: usize,
-    /// Verify-after-write retries performed by the scrubber.
-    pub repair_retries: usize,
-    /// Verify-after-write mismatches seen.
-    pub verify_failures: usize,
-    /// Codebook self-check failures repaired from FLASH.
-    pub codebook_rebuilds: usize,
-    /// Configuration-port power-cycles (escalation rung 4).
-    pub port_resets: usize,
-    /// Frames whose bounded repair attempts all failed and escalated.
-    pub frames_escalated: usize,
-    /// Golden fetches skipped on uncorrectable FLASH ECC errors.
-    pub golden_uncorrectable: usize,
-    /// Devices taken out of the scrub rotation (escalation rung 5).
-    pub devices_degraded: usize,
+    /// Everything the escalation ladder did, mission-wide — the shared
+    /// counter block also used by `ScrubOutcome` and `EnsembleStats`.
+    pub ladder: LadderStats,
+
+    // ---- SOH downlink accounting ----
+    /// SOH events shed by the budgeted downlink encoder (0 when
+    /// `MissionConfig::soh_downlink` is `None`). Loss is never silent.
+    pub soh_shed_events: usize,
+    /// Ground passes the SOH stream was planned into.
+    pub soh_downlink_passes: usize,
 }
 
 /// An outstanding fault on one device.
@@ -435,14 +439,14 @@ impl<'a> MissionKernel<'a> {
             self.stats.frames_repaired += out.frames_repaired;
             self.stats.detected += out.frames_repaired;
             self.stats.full_reconfigs += out.full_reconfigs;
-            self.stats.sefis_observed += out.sefis_observed;
-            self.stats.repair_retries += out.repair_retries;
-            self.stats.verify_failures += out.verify_failures;
-            self.stats.codebook_rebuilds += out.codebook_rebuilds;
-            self.stats.port_resets += out.port_resets;
-            self.stats.frames_escalated += out.frames_escalated;
-            self.stats.golden_uncorrectable += out.golden_uncorrectable;
-            self.stats.devices_degraded += out.devices_degraded;
+            self.stats.ladder.merge(&out.ladder);
+            if self.payload.telemetry.is_enabled() && !out.ladder.is_quiet() {
+                self.payload.telemetry.observe(
+                    "scrub.board_pass_ms",
+                    LATENCY_MS_BUCKETS,
+                    out.duration.as_millis_f64(),
+                );
+            }
             for f in out.devices_cleaned {
                 let di = base + f;
                 // Repairable outstanding faults are resolved; their
@@ -621,6 +625,77 @@ impl<'a> MissionKernel<'a> {
             - self.unavailable.as_secs_f64() / (self.cfg.duration.as_secs_f64() * self.ndev as f64);
         self.stats.elapsed_s = self.cfg.duration.as_secs_f64();
         self.stats.soh_records = self.payload.soh.len();
+
+        // Plan the SOH stream into ground passes under the configured
+        // budget. Post-hoc over the log: the plan reads mission history
+        // and writes only downlink accounting, never mission dynamics.
+        if let Some(policy) = self.cfg.soh_downlink {
+            let events: Vec<(u64, cibola_telemetry::Severity)> = self
+                .payload
+                .soh
+                .iter()
+                .map(|r| (r.time_ns, soh_event_meta(&r.event).1))
+                .collect();
+            let plan = plan_downlink(&events, &policy);
+            self.stats.soh_shed_events = plan.shed_events as usize;
+            self.stats.soh_downlink_passes = plan.passes.len();
+            let tele = &self.payload.telemetry;
+            tele.inc("downlink.sent_events", plan.sent_events);
+            tele.inc("downlink.shed_events", plan.shed_events);
+            tele.emit_with(|| {
+                TelemetryEvent::point(
+                    Subsystem::Downlink,
+                    if plan.shed_events > 0 {
+                        Severity::Warning
+                    } else {
+                        Severity::Info
+                    },
+                    "downlink.plan",
+                    self.end.as_nanos(),
+                )
+                .with_u64("passes", plan.passes.len() as u64)
+                .with_u64("sent", plan.sent_events)
+                .with_u64("shed", plan.shed_events)
+                .with_u64("shed_critical", plan.shed_by_severity[3])
+                .with_u64("sent_bytes", plan.sent_bytes)
+            });
+        }
+
+        if self.payload.telemetry.is_enabled() {
+            let tele = self.payload.telemetry.clone();
+            for d in &self.latencies {
+                tele.observe(
+                    "mission.detect_latency_ms",
+                    LATENCY_MS_BUCKETS,
+                    d.as_millis_f64(),
+                );
+            }
+            let mut port = cibola_telemetry::PortFaultStats::default();
+            for &(b, f) in &self.positions {
+                port.merge(&self.payload.fpga(b, f).device.port_fault_stats());
+            }
+            tele.inc("port.read_corruptions", port.read_corruptions);
+            tele.inc("port.read_aborts", port.read_aborts);
+            tele.inc("port.write_drops", port.write_drops);
+            tele.inc("port.wedges", port.wedges);
+            tele.inc("port.wedged_rejections", port.wedged_rejections);
+            tele.inc("port.resets", port.resets);
+            let stats = &self.stats;
+            tele.emit(
+                TelemetryEvent::span(Subsystem::Mission, "mission.end", 0, self.end.as_nanos())
+                    .with_severity(if stats.ladder.devices_degraded > 0 {
+                        Severity::Warning
+                    } else {
+                        Severity::Info
+                    })
+                    .with_u64("upsets_total", stats.upsets_total as u64)
+                    .with_u64("frames_repaired", stats.frames_repaired as u64)
+                    .with_u64("full_reconfigs", stats.full_reconfigs as u64)
+                    .with_u64("devices_degraded", stats.ladder.devices_degraded as u64)
+                    .with_u64("scrub_cycles", stats.scrub_cycles as u64)
+                    .with_f64("availability", stats.availability),
+            );
+        }
         self.stats
     }
 }
@@ -649,6 +724,16 @@ pub fn run_mission(
             // Rounds (r..nr) are observable-state no-ops: charge their
             // scrub-cycle accounting and jump.
             k.stats.scrub_cycles += (nr - r) as usize;
+            k.payload.telemetry.inc("mission.rounds_skipped", nr - r);
+            k.payload.telemetry.emit_with(|| {
+                TelemetryEvent::span(
+                    Subsystem::Mission,
+                    "mission.rounds_skipped",
+                    r * round_ns,
+                    (nr - r) * round_ns,
+                )
+                .with_u64("rounds", nr - r)
+            });
             r = nr;
             continue;
         }

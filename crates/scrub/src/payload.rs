@@ -12,6 +12,10 @@
 //! of wedging.
 
 use cibola_arch::{Bitstream, Device, Geometry, PortError, ReadbackOptions, SimDuration, SimTime};
+use cibola_telemetry::{
+    EscalationRung, LadderStats, Severity, Subsystem, Telemetry, TelemetryEvent,
+    LATENCY_MS_BUCKETS, RETRIES_BUCKETS,
+};
 
 use crate::crc::crc32;
 use crate::flash::{EccStats, Eeprom, Flash, FlashError};
@@ -130,23 +134,9 @@ pub struct ScrubOutcome {
     /// Devices that were repaired or reconfigured (their outstanding
     /// upsets are resolved).
     pub devices_cleaned: Vec<usize>,
-    /// Port SEFIs observed by the scrub machinery (aborts + wedges).
-    pub sefis_observed: usize,
-    /// Verify-after-write retries performed.
-    pub repair_retries: usize,
-    /// Verify-after-write mismatches seen.
-    pub verify_failures: usize,
-    /// Codebook self-check failures repaired from FLASH.
-    pub codebook_rebuilds: usize,
-    /// Configuration-port power-cycles performed.
-    pub port_resets: usize,
-    /// Golden fetches skipped because of uncorrectable FLASH ECC errors.
-    pub golden_uncorrectable: usize,
-    /// Frames whose bounded repair attempts all failed (escalated past
-    /// frame repair).
-    pub frames_escalated: usize,
-    /// Devices marked degraded during this pass.
-    pub devices_degraded: usize,
+    /// Escalation-ladder bookkeeping for this pass (shared counter block —
+    /// the same type rolls up into `MissionStats` and `EnsembleStats`).
+    pub ladder: LadderStats,
 }
 
 /// The whole payload.
@@ -158,6 +148,9 @@ pub struct Payload {
     pub soh: Vec<SohRecord>,
     pub ecc_stats: EccStats,
     pub policy: ScrubPolicy,
+    /// Flight-recorder sink; disabled by default, so an uninstrumented
+    /// payload pays one branch per SOH push and allocates nothing.
+    pub telemetry: Telemetry,
 }
 
 impl Payload {
@@ -170,7 +163,14 @@ impl Payload {
             soh: Vec::new(),
             ecc_stats: EccStats::default(),
             policy: ScrubPolicy::default(),
+            telemetry: Telemetry::disabled(),
         }
+    }
+
+    /// Attach a telemetry sink (builder style).
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
     }
 
     /// Load a design onto board `board`, next free FPGA position: store
@@ -224,6 +224,39 @@ impl Payload {
     }
 
     fn push_soh(&mut self, board: usize, fpga: usize, at: SimTime, event: SohEvent) {
+        self.telemetry.emit_with(|| {
+            let (name, severity, rung) = soh_event_meta(&event);
+            let mut ev = TelemetryEvent::point(Subsystem::Scrub, severity, name, at.as_nanos())
+                .with_device(board, fpga);
+            if let Some(rung) = rung {
+                ev = ev.with_str("rung", rung.name());
+            }
+            match event {
+                SohEvent::FrameCorrupt { frame_index }
+                | SohEvent::FrameRepaired { frame_index }
+                | SohEvent::VerifyFailed { frame_index }
+                | SohEvent::GoldenFrameUncorrectable { frame_index } => {
+                    ev = ev.with_u64("frame", frame_index as u64);
+                }
+                SohEvent::RepairRetry {
+                    frame_index,
+                    attempt,
+                } => {
+                    ev = ev
+                        .with_u64("frame", frame_index as u64)
+                        .with_u64("attempt", attempt as u64);
+                }
+                SohEvent::FlashCorrected { words } => {
+                    ev = ev.with_u64("words", words as u64);
+                }
+                SohEvent::PortSefi { wedged } => {
+                    ev = ev.with_bool("wedged", wedged);
+                }
+                _ => {}
+            }
+            ev
+        });
+        self.telemetry.inc(soh_event_meta(&event).0, 1);
         self.soh.push(SohRecord {
             time_ns: at.as_nanos(),
             board,
@@ -310,7 +343,7 @@ impl Payload {
         };
         out.duration += report.duration;
         if report.aborted_frames > 0 {
-            out.sefis_observed += report.aborted_frames;
+            out.ladder.sefis_observed += report.aborted_frames;
             self.push_soh(
                 board,
                 fi,
@@ -319,7 +352,7 @@ impl Payload {
             );
         }
         if report.wedged {
-            out.sefis_observed += 1;
+            out.ladder.sefis_observed += 1;
             self.push_soh(
                 board,
                 fi,
@@ -335,7 +368,7 @@ impl Payload {
             out.duration += report.duration;
             if report.wedged {
                 // Dead twice in one pass: give up until the next round.
-                out.sefis_observed += 1;
+                out.ladder.sefis_observed += 1;
                 self.push_soh(
                     board,
                     fi,
@@ -387,7 +420,7 @@ impl Payload {
                     // Never repair a frame with corrupt golden data:
                     // report and skip — the frame stays outstanding.
                     self.merge_ecc(board, fi, now, &stats);
-                    out.golden_uncorrectable += 1;
+                    out.ladder.golden_uncorrectable += 1;
                     self.push_soh(
                         board,
                         fi,
@@ -414,7 +447,7 @@ impl Payload {
                 );
             } else {
                 failed_frames += 1;
-                out.frames_escalated += 1;
+                out.ladder.frames_escalated += 1;
             }
         }
         // "…and then resets the system" (one reset after repairs).
@@ -478,9 +511,10 @@ impl Payload {
         out: &mut ScrubOutcome,
     ) -> bool {
         let policy = self.policy;
+        let dur_start = out.duration;
         for attempt in 0..policy.max_frame_attempts {
             if attempt > 0 {
-                out.repair_retries += 1;
+                out.ladder.repair_retries += 1;
                 self.push_soh(
                     board,
                     fi,
@@ -501,7 +535,7 @@ impl Payload {
             out.duration += wd;
             if wres.is_err() {
                 // A wedge mid-repair: power-cycle and count the attempt.
-                out.sefis_observed += 1;
+                out.ladder.sefis_observed += 1;
                 self.push_soh(
                     board,
                     fi,
@@ -526,10 +560,20 @@ impl Payload {
                             .codebook
                             .crc(frame_index) =>
                 {
+                    if self.telemetry.is_enabled() {
+                        let ms = (out.duration.as_nanos() - dur_start.as_nanos()) as f64 / 1e6;
+                        self.telemetry
+                            .observe("scrub.frame_repair_ms", LATENCY_MS_BUCKETS, ms);
+                        self.telemetry.observe(
+                            "scrub.repair_attempts",
+                            RETRIES_BUCKETS,
+                            attempt as f64,
+                        );
+                    }
                     return true;
                 }
                 Ok(_) | Err(PortError::Aborted) => {
-                    out.verify_failures += 1;
+                    out.ladder.verify_failures += 1;
                     self.push_soh(
                         board,
                         fi,
@@ -538,8 +582,8 @@ impl Payload {
                     );
                 }
                 Err(PortError::Wedged) => {
-                    out.sefis_observed += 1;
-                    out.verify_failures += 1;
+                    out.ladder.sefis_observed += 1;
+                    out.ladder.verify_failures += 1;
                     self.push_soh(
                         board,
                         fi,
@@ -571,13 +615,13 @@ impl Payload {
                 let masked = masked_frames_for(&image);
                 self.boards[board].fpgas[fi].manager.codebook = CrcCodebook::new(&image, &masked);
                 out.duration += fetch;
-                out.codebook_rebuilds += 1;
+                out.ladder.codebook_rebuilds += 1;
                 self.push_soh(board, fi, now + out.duration, SohEvent::CodebookRebuilt);
                 true
             }
             Err(FlashError::Uncorrectable { .. }) => {
                 self.merge_ecc(board, fi, now, &stats);
-                out.golden_uncorrectable += 1;
+                out.ladder.golden_uncorrectable += 1;
                 self.push_soh(
                     board,
                     fi,
@@ -593,7 +637,7 @@ impl Payload {
     /// Power-cycle one device's configuration port and log it.
     fn reset_port(&mut self, board: usize, fi: usize, now: SimTime, out: &mut ScrubOutcome) {
         out.duration += self.boards[board].fpgas[fi].device.port_reset();
-        out.port_resets += 1;
+        out.ladder.port_resets += 1;
         self.push_soh(board, fi, now + out.duration, SohEvent::PortReset);
     }
 
@@ -623,7 +667,7 @@ impl Payload {
             }
             Err(FlashError::Uncorrectable { .. }) => {
                 self.merge_ecc(board, fi, now, &stats);
-                out.golden_uncorrectable += 1;
+                out.ladder.golden_uncorrectable += 1;
                 self.push_soh(
                     board,
                     fi,
@@ -644,7 +688,7 @@ impl Payload {
         h.consecutive_failures += 1;
         if h.consecutive_failures >= degrade_after {
             h.degraded = true;
-            out.devices_degraded += 1;
+            out.ladder.devices_degraded += 1;
             self.push_soh(board, fi, now + out.duration, SohEvent::DeviceDegraded);
         }
     }
@@ -683,5 +727,58 @@ impl Payload {
 impl Default for Payload {
     fn default() -> Self {
         Payload::new()
+    }
+}
+
+/// The stable telemetry mapping of an SOH event: wire name, downlink
+/// severity, and the escalation rung it belongs to (if any). One place,
+/// so the JSONL schema cannot drift from the SOH vocabulary.
+pub fn soh_event_meta(event: &SohEvent) -> (&'static str, Severity, Option<EscalationRung>) {
+    match event {
+        SohEvent::FrameCorrupt { .. } => ("scrub.frame_corrupt", Severity::Info, None),
+        SohEvent::FrameRepaired { .. } => (
+            "scrub.frame_repaired",
+            EscalationRung::FrameRepair.severity(),
+            Some(EscalationRung::FrameRepair),
+        ),
+        SohEvent::FullReconfig => (
+            "scrub.full_reconfig",
+            EscalationRung::FullReconfig.severity(),
+            Some(EscalationRung::FullReconfig),
+        ),
+        SohEvent::FlashCorrected { .. } => ("scrub.flash_corrected", Severity::Info, None),
+        SohEvent::PortSefi { .. } => ("scrub.port_sefi", Severity::Warning, None),
+        SohEvent::RepairRetry { .. } => (
+            "scrub.repair_retry",
+            Severity::Info,
+            Some(EscalationRung::FrameRepair),
+        ),
+        SohEvent::VerifyFailed { .. } => (
+            "scrub.verify_failed",
+            Severity::Warning,
+            Some(EscalationRung::RescanVerify),
+        ),
+        SohEvent::CodebookCorrupt => ("scrub.codebook_corrupt", Severity::Warning, None),
+        SohEvent::CodebookRebuilt => (
+            "scrub.codebook_rebuilt",
+            EscalationRung::CodebookRebuild.severity(),
+            Some(EscalationRung::CodebookRebuild),
+        ),
+        SohEvent::GoldenFrameUncorrectable { .. } => {
+            ("scrub.golden_frame_uncorrectable", Severity::Warning, None)
+        }
+        SohEvent::GoldenImageUncorrectable => {
+            ("scrub.golden_image_uncorrectable", Severity::Warning, None)
+        }
+        SohEvent::PortReset => (
+            "scrub.port_reset",
+            EscalationRung::PortPowerCycle.severity(),
+            Some(EscalationRung::PortPowerCycle),
+        ),
+        SohEvent::DeviceDegraded => (
+            "scrub.device_degraded",
+            EscalationRung::Degrade.severity(),
+            Some(EscalationRung::Degrade),
+        ),
     }
 }

@@ -9,6 +9,11 @@
 //! and control parameters uplinked."
 
 use cibola_arch::{Bitstream, SimDuration};
+use cibola_telemetry::{plan_downlink, DownlinkPlan, Severity, SohDownlinkPolicy};
+
+/// Encoded size of one SOH record on the wire: time + location + event +
+/// payload, framed.
+pub const SOH_RECORD_BYTES: usize = 16;
 
 /// The payload ↔ ground link.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -74,7 +79,6 @@ impl GroundLink {
     /// original — every retry, verify failure, codebook rebuild and
     /// escalation rung is downlinked — so ops must budget for it.
     pub fn soh_downlink_time(&self, records: usize) -> SimDuration {
-        const SOH_RECORD_BYTES: usize = 16;
         SimDuration::from_secs_f64(
             records as f64 * SOH_RECORD_BYTES as f64 * 8.0 / self.bits_per_second,
         )
@@ -83,8 +87,39 @@ impl GroundLink {
     /// Does a mission's worth of SOH telemetry fit the fixed per-pass
     /// overhead window? If not, the flight software must prioritise
     /// (escalation-rung events first) or spill to a second pass.
+    ///
+    /// A bare boolean hides *how much* was lost — use
+    /// [`GroundLink::plan_soh_downlink`] for loss-accounted planning.
     pub fn soh_fits_pass_overhead(&self, records: usize) -> bool {
         self.soh_downlink_time(records) <= self.per_pass_overhead
+    }
+
+    /// SOH bytes one pass's overhead window can carry.
+    pub fn soh_budget_bytes(&self) -> u64 {
+        (self.per_pass_overhead.as_secs_f64() * self.bits_per_second / 8.0) as u64
+    }
+
+    /// The downlink policy this link implies for SOH traffic, given the
+    /// simulated time between pass starts (orbit period for a single
+    /// ground station; shorter with a network).
+    pub fn soh_policy(&self, pass_period: SimDuration) -> SohDownlinkPolicy {
+        SohDownlinkPolicy::new(
+            self.soh_budget_bytes(),
+            pass_period.as_nanos(),
+            SOH_RECORD_BYTES as u64,
+        )
+    }
+
+    /// Plan `events` (`(time_ns, severity)` pairs) into ground passes under
+    /// this link's budget. Unlike [`GroundLink::soh_fits_pass_overhead`],
+    /// the result carries an explicit [`DownlinkPlan::shed_events`] count —
+    /// nothing is truncated silently.
+    pub fn plan_soh_downlink(
+        &self,
+        events: &[(u64, Severity)],
+        pass_period: SimDuration,
+    ) -> DownlinkPlan {
+        plan_downlink(events, &self.soh_policy(pass_period))
     }
 }
 
@@ -126,6 +161,35 @@ mod tests {
         assert!(link.soh_fits_pass_overhead(1312));
         // A pathological event storm does not fit and must spill.
         assert!(!link.soh_fits_pass_overhead(10_000_000));
+    }
+
+    #[test]
+    fn budgeted_plan_counts_what_it_sheds() {
+        // A link whose overhead window carries exactly two records/pass.
+        let link = GroundLink {
+            bits_per_second: 8.0 * SOH_RECORD_BYTES as f64 * 2.0,
+            per_pass_overhead: SimDuration::from_secs(1),
+            ..Default::default()
+        };
+        assert_eq!(link.soh_budget_bytes(), 2 * SOH_RECORD_BYTES as u64);
+        let period = SimDuration::from_secs(90 * 60);
+        let events = vec![
+            (0, Severity::Debug),
+            (1, Severity::Critical),
+            (2, Severity::Info),
+            (3, Severity::Warning),
+        ];
+        let plan = link.plan_soh_downlink(&events, period);
+        assert_eq!(plan.sent_events, 2);
+        assert_eq!(plan.shed_events, 2, "loss must be counted, not silent");
+        // Critical + warning survive; debug and info are shed.
+        assert_eq!(plan.passes[0].sent, vec![1, 3]);
+        assert_eq!(plan.shed_by_severity, [1, 1, 0, 0]);
+
+        // The same stream under a roomy budget sheds nothing.
+        let roomy = GroundLink::default().plan_soh_downlink(&events, period);
+        assert_eq!(roomy.shed_events, 0);
+        assert_eq!(roomy.sent_events, 4);
     }
 
     #[test]

@@ -15,6 +15,7 @@ use cibola_radiation::{OrbitRates, SefiConfig, TargetMix};
 use cibola_scrub::ensemble::member_seed;
 use cibola_scrub::{
     run_ensemble, run_mission, run_mission_reference, EnsembleConfig, MissionConfig, Payload,
+    Telemetry,
 };
 use proptest::prelude::*;
 
@@ -70,6 +71,7 @@ fn regimes(seed: u64) -> Vec<(&'static str, MissionConfig, bool)> {
                 periodic_full_reconfig: None,
                 sefi: None,
                 seed,
+                soh_downlink: None,
             },
             false,
         ),
@@ -83,6 +85,7 @@ fn regimes(seed: u64) -> Vec<(&'static str, MissionConfig, bool)> {
                 sefi: None,
                 mix: TargetMix::default(),
                 seed,
+                soh_downlink: None,
             },
             false,
         ),
@@ -98,6 +101,7 @@ fn regimes(seed: u64) -> Vec<(&'static str, MissionConfig, bool)> {
                 sefi: Some(sefi_config()),
                 mix: TargetMix::default(),
                 seed,
+                soh_downlink: None,
             },
             false,
         ),
@@ -117,6 +121,7 @@ fn regimes(seed: u64) -> Vec<(&'static str, MissionConfig, bool)> {
                 sefi: None,
                 mix: TargetMix::default(),
                 seed,
+                soh_downlink: None,
             },
             false,
         ),
@@ -130,6 +135,7 @@ fn regimes(seed: u64) -> Vec<(&'static str, MissionConfig, bool)> {
                 sefi: Some(sefi_config()),
                 mix: TargetMix::default(),
                 seed,
+                soh_downlink: None,
             },
             true,
         ),
@@ -195,7 +201,10 @@ fn degraded_regime_actually_degrades() {
         .find(|(n, _, _)| *n == "degraded")
         .unwrap();
     let stats = run_mission(&mut payload, &cfg, &HashMap::new());
-    assert!(stats.devices_degraded > 0, "no device degraded: {stats:?}");
+    assert!(
+        stats.ladder.devices_degraded > 0,
+        "no device degraded: {stats:?}"
+    );
 }
 
 proptest! {
@@ -228,6 +237,7 @@ fn ensemble_aggregates_identical_at_any_thread_count() {
         base_seed: 0x00A1_1E57,
         missions: 6,
         parallel: true,
+        telemetry: Telemetry::disabled(),
     };
     let sens = sparse_sensitivity();
 

@@ -207,6 +207,7 @@ fn mission_detects_and_repairs_under_flare_load() {
         periodic_full_reconfig: Some(SimDuration::from_secs(900)),
         sefi: None,
         seed: 42,
+        soh_downlink: None,
     };
     let stats = run_mission(&mut payload, &cfg, &sens);
 
@@ -262,6 +263,7 @@ fn mission_availability_degrades_without_scrub_sensitivity_knowledge() {
         periodic_full_reconfig: None,
         sefi: None,
         seed: 7,
+        soh_downlink: None,
     };
     let stats = run_mission(&mut payload, &cfg, &HashMap::new());
     assert!(stats.sensitive_upsets >= stats.upsets_config - stats.upsets_config_masked);
@@ -394,6 +396,7 @@ fn mission_matches_pre_sefi_baseline_exactly_when_faults_off() {
         periodic_full_reconfig: Some(SimDuration::from_secs(900)),
         sefi: None,
         seed: 42,
+        soh_downlink: None,
     };
     let stats = run_mission(&mut payload, &cfg, &HashMap::new());
 
@@ -412,13 +415,13 @@ fn mission_matches_pre_sefi_baseline_exactly_when_faults_off() {
 
     // And the robustness machinery reports it did nothing.
     assert_eq!(stats.sefis_injected, 0);
-    assert_eq!(stats.sefis_observed, 0);
-    assert_eq!(stats.repair_retries, 0);
-    assert_eq!(stats.verify_failures, 0);
-    assert_eq!(stats.codebook_rebuilds, 0);
-    assert_eq!(stats.port_resets, 0);
-    assert_eq!(stats.frames_escalated, 0);
-    assert_eq!(stats.devices_degraded, 0);
+    assert_eq!(stats.ladder.sefis_observed, 0);
+    assert_eq!(stats.ladder.repair_retries, 0);
+    assert_eq!(stats.ladder.verify_failures, 0);
+    assert_eq!(stats.ladder.codebook_rebuilds, 0);
+    assert_eq!(stats.ladder.port_resets, 0);
+    assert_eq!(stats.ladder.frames_escalated, 0);
+    assert_eq!(stats.ladder.devices_degraded, 0);
 }
 
 fn chaos_config() -> MissionConfig {
@@ -445,6 +448,7 @@ fn chaos_config() -> MissionConfig {
             mix: SefiMix::default(),
         }),
         seed: 42,
+        soh_downlink: None,
     }
 }
 
@@ -467,11 +471,23 @@ fn chaos_mission_survives_sefi_and_codebook_storm() {
             + stats.codebook_upsets
     );
     // ...and the scrubber visibly fought back on every front.
-    assert!(stats.sefis_observed > 0, "ports aborted/wedged under scan");
-    assert!(stats.repair_retries > 0, "verify-after-write retried");
-    assert!(stats.verify_failures > 0, "silent drops were caught");
-    assert!(stats.codebook_rebuilds > 0, "codebook healed from FLASH");
-    assert!(stats.port_resets > 0, "wedged ports were power-cycled");
+    assert!(
+        stats.ladder.sefis_observed > 0,
+        "ports aborted/wedged under scan"
+    );
+    assert!(
+        stats.ladder.repair_retries > 0,
+        "verify-after-write retried"
+    );
+    assert!(stats.ladder.verify_failures > 0, "silent drops were caught");
+    assert!(
+        stats.ladder.codebook_rebuilds > 0,
+        "codebook healed from FLASH"
+    );
+    assert!(
+        stats.ladder.port_resets > 0,
+        "wedged ports were power-cycled"
+    );
 
     // No device ends the mission wedged: every wedge was power-cycled.
     for (b, f) in payload.positions() {
@@ -545,10 +561,13 @@ fn silent_drop_is_caught_by_verify_and_retried() {
         .inject_write_fault(WriteFault::SilentDrop);
 
     let out = payload.scrub_board(b, SimTime::ZERO, &[true]);
-    assert_eq!(out.verify_failures, 1, "the dropped write was caught");
-    assert_eq!(out.repair_retries, 1, "and retried once");
+    assert_eq!(
+        out.ladder.verify_failures, 1,
+        "the dropped write was caught"
+    );
+    assert_eq!(out.ladder.repair_retries, 1, "and retried once");
     assert_eq!(out.frames_repaired, 1, "the retry stuck");
-    assert_eq!(out.frames_escalated, 0);
+    assert_eq!(out.ladder.frames_escalated, 0);
     assert!(payload
         .fpga(b, f)
         .device
@@ -583,7 +602,7 @@ fn exhausted_frame_retries_escalate_to_full_reconfig() {
     }
 
     let out = payload.scrub_board(b, SimTime::ZERO, &[true]);
-    assert_eq!(out.frames_escalated, 1, "frame repair gave up");
+    assert_eq!(out.ladder.frames_escalated, 1, "frame repair gave up");
     assert_eq!(out.full_reconfigs, 1, "and the ladder reconfigured");
     assert_eq!(out.devices_cleaned, vec![f]);
     assert!(payload
@@ -609,7 +628,7 @@ fn corrupt_codebook_is_self_detected_and_rebuilt_from_flash() {
     // Without the self-check this would "detect" a phantom corruption and
     // pointlessly rewrite frame 2 forever. Instead the book heals first.
     let out = payload.scrub_board(b, SimTime::ZERO, &[true]);
-    assert_eq!(out.codebook_rebuilds, 1);
+    assert_eq!(out.ladder.codebook_rebuilds, 1);
     assert!(payload.fpga(b, f).manager.codebook.self_check());
     assert_eq!(out.frames_repaired, 0, "no phantom repairs");
     let kinds: Vec<_> = payload.soh.iter().map(|r| r.event).collect();
@@ -634,8 +653,8 @@ fn wedged_port_is_power_cycled_and_the_pass_completes() {
         .inject_read_fault(ReadFault::Wedge);
 
     let out = payload.scrub_board(b, SimTime::ZERO, &[true]);
-    assert!(out.port_resets >= 1, "the port was power-cycled");
-    assert!(out.sefis_observed >= 1);
+    assert!(out.ladder.port_resets >= 1, "the port was power-cycled");
+    assert!(out.ladder.sefis_observed >= 1);
     assert_eq!(out.frames_repaired, 1, "the rescan still found the upset");
     assert!(!payload.fpga(b, f).device.is_port_wedged());
     assert!(payload
@@ -663,8 +682,8 @@ fn unreadable_golden_degrades_device_instead_of_livelocking() {
     let mut degraded_at = None;
     for pass in 0..payload.policy.degrade_after + 1 {
         let out = payload.scrub_board(b, SimTime::ZERO, &[true]);
-        assert!(out.golden_uncorrectable > 0 || degraded_at.is_some());
-        if out.devices_degraded > 0 {
+        assert!(out.ladder.golden_uncorrectable > 0 || degraded_at.is_some());
+        if out.ladder.devices_degraded > 0 {
             degraded_at = Some(pass);
         }
     }

@@ -1,0 +1,167 @@
+//! The budgeted state-of-health downlink encoder.
+//!
+//! A ground pass gives the payload a fixed byte budget for SOH traffic.
+//! When the backlog for a pass exceeds it, the encoder sheds the
+//! lowest-severity, newest events first — and *counts* what it sheds,
+//! because an operator who does not know the record is incomplete will
+//! draw wrong conclusions from it.
+
+use crate::event::Severity;
+
+/// How SOH events are packed into ground passes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SohDownlinkPolicy {
+    /// Bytes of SOH the link can carry per pass.
+    pub budget_bytes_per_pass: u64,
+    /// Simulated time between pass starts, ns. Events are binned into the
+    /// pass whose window contains their timestamp.
+    pub pass_period_ns: u64,
+    /// Encoded size of one SOH record on the wire.
+    pub bytes_per_event: u64,
+}
+
+impl SohDownlinkPolicy {
+    pub fn new(budget_bytes_per_pass: u64, pass_period_ns: u64, bytes_per_event: u64) -> Self {
+        SohDownlinkPolicy {
+            budget_bytes_per_pass,
+            pass_period_ns: pass_period_ns.max(1),
+            bytes_per_event: bytes_per_event.max(1),
+        }
+    }
+
+    /// Whole events that fit in one pass budget.
+    pub fn events_per_pass(&self) -> u64 {
+        self.budget_bytes_per_pass / self.bytes_per_event
+    }
+}
+
+/// One pass's share of the plan.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PassPlan {
+    pub pass_index: u64,
+    /// Indices into the caller's event slice, in downlink order
+    /// (severity-major, then time).
+    pub sent: Vec<usize>,
+    /// Indices shed for budget, same ordering rule.
+    pub shed: Vec<usize>,
+    pub bytes_used: u64,
+}
+
+/// The full, loss-accounted downlink plan.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DownlinkPlan {
+    pub passes: Vec<PassPlan>,
+    pub sent_events: u64,
+    /// Events that did not fit any pass budget. Never silent: this is the
+    /// number the mission stats must surface.
+    pub shed_events: u64,
+    /// Shed counts indexed by [`Severity::index`].
+    pub shed_by_severity: [u64; 4],
+    pub sent_bytes: u64,
+}
+
+/// Plan the downlink of `events` (`(t_ns, severity)` pairs, any order)
+/// under `policy`. Within a pass, higher severity wins; ties go to the
+/// older event, then to input order — fully deterministic.
+pub fn plan_downlink(events: &[(u64, Severity)], policy: &SohDownlinkPolicy) -> DownlinkPlan {
+    let mut by_pass: std::collections::BTreeMap<u64, Vec<usize>> =
+        std::collections::BTreeMap::new();
+    for (i, (t_ns, _)) in events.iter().enumerate() {
+        by_pass
+            .entry(t_ns / policy.pass_period_ns)
+            .or_default()
+            .push(i);
+    }
+
+    let cap = policy.events_per_pass() as usize;
+    let mut plan = DownlinkPlan::default();
+    for (pass_index, mut idxs) in by_pass {
+        idxs.sort_by(|&a, &b| {
+            let (ta, sa) = events[a];
+            let (tb, sb) = events[b];
+            sb.cmp(&sa).then(ta.cmp(&tb)).then(a.cmp(&b))
+        });
+        let keep = idxs.len().min(cap);
+        let shed: Vec<usize> = idxs.split_off(keep);
+        for &i in &shed {
+            plan.shed_by_severity[events[i].1.index()] += 1;
+        }
+        plan.sent_events += idxs.len() as u64;
+        plan.shed_events += shed.len() as u64;
+        let bytes_used = idxs.len() as u64 * policy.bytes_per_event;
+        plan.sent_bytes += bytes_used;
+        plan.passes.push(PassPlan {
+            pass_index,
+            sent: idxs,
+            shed,
+            bytes_used,
+        });
+    }
+    plan
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const POLICY: SohDownlinkPolicy = SohDownlinkPolicy {
+        budget_bytes_per_pass: 48, // 3 events of 16 bytes
+        pass_period_ns: 1_000,
+        bytes_per_event: 16,
+    };
+
+    #[test]
+    fn under_budget_sheds_nothing() {
+        let events = vec![(10, Severity::Info), (20, Severity::Debug)];
+        let plan = plan_downlink(&events, &POLICY);
+        assert_eq!(plan.sent_events, 2);
+        assert_eq!(plan.shed_events, 0);
+        assert_eq!(plan.sent_bytes, 32);
+        assert_eq!(plan.passes.len(), 1);
+    }
+
+    #[test]
+    fn over_budget_sheds_lowest_severity_newest_first() {
+        let events = vec![
+            (100, Severity::Debug),    // 0: shed (lowest severity)
+            (200, Severity::Critical), // 1: kept first
+            (300, Severity::Info),     // 2: kept (older info)
+            (400, Severity::Info),     // 3: shed (newer of the two infos)
+            (500, Severity::Warning),  // 4: kept second
+        ];
+        let plan = plan_downlink(&events, &POLICY);
+        assert_eq!(plan.sent_events, 3);
+        assert_eq!(plan.shed_events, 2);
+        let pass = &plan.passes[0];
+        assert_eq!(pass.sent, vec![1, 4, 2]);
+        assert_eq!(pass.shed, vec![3, 0]);
+        assert_eq!(plan.shed_by_severity, [1, 1, 0, 0]);
+    }
+
+    #[test]
+    fn passes_bin_by_period_and_budget_is_per_pass() {
+        // Four events per pass window, budget of three.
+        let mut events = Vec::new();
+        for pass in 0..2u64 {
+            for k in 0..4u64 {
+                events.push((pass * 1_000 + k, Severity::Info));
+            }
+        }
+        let plan = plan_downlink(&events, &POLICY);
+        assert_eq!(plan.passes.len(), 2);
+        assert_eq!(plan.sent_events, 6);
+        assert_eq!(plan.shed_events, 2);
+        assert_eq!(plan.passes[0].pass_index, 0);
+        assert_eq!(plan.passes[1].pass_index, 1);
+    }
+
+    #[test]
+    fn plan_is_deterministic() {
+        let events: Vec<_> = (0..100)
+            .map(|i| (i * 37 % 5_000, Severity::ALL[(i % 4) as usize]))
+            .collect();
+        let a = plan_downlink(&events, &POLICY);
+        let b = plan_downlink(&events, &POLICY);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,424 @@
+//! Minimal JSON emission and validation.
+//!
+//! The build environment has no route to a crates registry, so there is no
+//! `serde`; the telemetry layer hand-rolls the tiny subset of JSON it
+//! needs. Two halves:
+//!
+//! * [`JsonObject`] — an ordered object writer (the JSONL emitters).
+//! * [`validate_json_line`] — a strict single-value parser used by the
+//!   `telemetry-lint` binary and the determinism tests to prove every
+//!   emitted line is well-formed, standalone JSON.
+
+/// Append `s` JSON-escaped (quoted) to `out`.
+pub fn escape_into(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Render an `f64` as a JSON number. JSON has no NaN/Inf; they are mapped
+/// to `null` (the lint flags them as values, never as parse errors).
+pub fn f64_to_json(v: f64) -> String {
+    if v.is_finite() {
+        // `{:?}` round-trips f64 exactly and always includes a decimal
+        // point or exponent, so integers stay distinguishable from floats.
+        format!("{v:?}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// An insertion-ordered JSON object writer.
+#[derive(Debug, Default)]
+pub struct JsonObject {
+    buf: String,
+    any: bool,
+}
+
+impl JsonObject {
+    pub fn new() -> Self {
+        JsonObject {
+            buf: String::from("{"),
+            any: false,
+        }
+    }
+
+    fn key(&mut self, k: &str) {
+        if self.any {
+            self.buf.push(',');
+        }
+        self.any = true;
+        escape_into(&mut self.buf, k);
+        self.buf.push(':');
+    }
+
+    pub fn str(&mut self, k: &str, v: &str) {
+        self.key(k);
+        escape_into(&mut self.buf, v);
+    }
+
+    pub fn num_u64(&mut self, k: &str, v: u64) {
+        self.key(k);
+        self.buf.push_str(&v.to_string());
+    }
+
+    pub fn num_i64(&mut self, k: &str, v: i64) {
+        self.key(k);
+        self.buf.push_str(&v.to_string());
+    }
+
+    pub fn num_f64(&mut self, k: &str, v: f64) {
+        self.key(k);
+        self.buf.push_str(&f64_to_json(v));
+    }
+
+    pub fn bool(&mut self, k: &str, v: bool) {
+        self.key(k);
+        self.buf.push_str(if v { "true" } else { "false" });
+    }
+
+    /// Insert a pre-rendered JSON value verbatim (arrays, nested objects).
+    pub fn raw(&mut self, k: &str, json: &str) {
+        self.key(k);
+        self.buf.push_str(json);
+    }
+
+    pub fn finish(mut self) -> String {
+        self.buf.push('}');
+        self.buf
+    }
+}
+
+/// Render a slice of f64 as a JSON array.
+pub fn f64_array(vals: &[f64]) -> String {
+    let mut s = String::from("[");
+    for (i, v) in vals.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&f64_to_json(*v));
+    }
+    s.push(']');
+    s
+}
+
+/// Render a slice of u64 as a JSON array.
+pub fn u64_array(vals: &[u64]) -> String {
+    let mut s = String::from("[");
+    for (i, v) in vals.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&v.to_string());
+    }
+    s.push(']');
+    s
+}
+
+// ---------------------------------------------------------------------------
+// Validation
+// ---------------------------------------------------------------------------
+
+/// Why a line failed JSON validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Byte offset of the error within the line.
+    pub at: usize,
+    pub message: String,
+}
+
+impl std::fmt::Display for JsonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "byte {}: {}", self.at, self.message)
+    }
+}
+
+struct Parser<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err<T>(&self, message: &str) -> Result<T, JsonError> {
+        Err(JsonError {
+            at: self.i,
+            message: message.to_string(),
+        })
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.b.get(self.i).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.i += 1;
+        }
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(c) {
+            self.i += 1;
+            Ok(())
+        } else {
+            self.err(&format!("expected '{}'", c as char))
+        }
+    }
+
+    fn value(&mut self) -> Result<(), JsonError> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => self.string(),
+            Some(b't') => self.literal(b"true"),
+            Some(b'f') => self.literal(b"false"),
+            Some(b'n') => self.literal(b"null"),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            Some(_) => self.err("expected a JSON value"),
+            None => self.err("unexpected end of input"),
+        }
+    }
+
+    fn literal(&mut self, lit: &[u8]) -> Result<(), JsonError> {
+        if self.b[self.i..].starts_with(lit) {
+            self.i += lit.len();
+            Ok(())
+        } else {
+            self.err("malformed literal")
+        }
+    }
+
+    fn object(&mut self) -> Result<(), JsonError> {
+        self.expect(b'{')?;
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.i += 1;
+            return Ok(());
+        }
+        loop {
+            self.skip_ws();
+            self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.value()?;
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.i += 1,
+                Some(b'}') => {
+                    self.i += 1;
+                    return Ok(());
+                }
+                _ => return self.err("expected ',' or '}'"),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<(), JsonError> {
+        self.expect(b'[')?;
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.i += 1;
+            return Ok(());
+        }
+        loop {
+            self.value()?;
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.i += 1,
+                Some(b']') => {
+                    self.i += 1;
+                    return Ok(());
+                }
+                _ => return self.err("expected ',' or ']'"),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<(), JsonError> {
+        self.expect(b'"')?;
+        loop {
+            match self.peek() {
+                None => return self.err("unterminated string"),
+                Some(b'"') => {
+                    self.i += 1;
+                    return Ok(());
+                }
+                Some(b'\\') => {
+                    self.i += 1;
+                    match self.peek() {
+                        Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => self.i += 1,
+                        Some(b'u') => {
+                            self.i += 1;
+                            for _ in 0..4 {
+                                match self.peek() {
+                                    Some(c) if c.is_ascii_hexdigit() => self.i += 1,
+                                    _ => return self.err("bad \\u escape"),
+                                }
+                            }
+                        }
+                        _ => return self.err("bad escape"),
+                    }
+                }
+                Some(c) if c < 0x20 => return self.err("raw control character in string"),
+                Some(_) => self.i += 1,
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<(), JsonError> {
+        if self.peek() == Some(b'-') {
+            self.i += 1;
+        }
+        let mut digits = 0;
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.i += 1;
+            digits += 1;
+        }
+        if digits == 0 {
+            return self.err("expected digits");
+        }
+        if self.peek() == Some(b'.') {
+            self.i += 1;
+            let mut frac = 0;
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.i += 1;
+                frac += 1;
+            }
+            if frac == 0 {
+                return self.err("expected fraction digits");
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.i += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.i += 1;
+            }
+            let mut exp = 0;
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.i += 1;
+                exp += 1;
+            }
+            if exp == 0 {
+                return self.err("expected exponent digits");
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Validate that `line` is exactly one well-formed JSON value with no
+/// trailing garbage. Returns the byte length consumed.
+pub fn validate_json_line(line: &str) -> Result<usize, JsonError> {
+    let mut p = Parser {
+        b: line.as_bytes(),
+        i: 0,
+    };
+    p.value()?;
+    p.skip_ws();
+    if p.i != line.len() {
+        return p.err("trailing characters after JSON value");
+    }
+    Ok(p.i)
+}
+
+/// Validate a JSONL telemetry line: well-formed JSON *and* an object
+/// carrying the required `"t_ns"` and `"name"` keys.
+pub fn validate_telemetry_line(line: &str) -> Result<(), JsonError> {
+    validate_json_line(line)?;
+    if !line.trim_start().starts_with('{') {
+        return Err(JsonError {
+            at: 0,
+            message: "telemetry line must be a JSON object".to_string(),
+        });
+    }
+    for key in ["\"t_ns\":", "\"name\":"] {
+        if !line.contains(key) {
+            return Err(JsonError {
+                at: 0,
+                message: format!("missing required key {key}"),
+            });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn object_writer_round_trips_through_validator() {
+        let mut o = JsonObject::new();
+        o.str("name", "weird \"quoted\"\nname\t\\");
+        o.num_u64("t_ns", u64::MAX);
+        o.num_i64("delta", -42);
+        o.num_f64("ratio", 0.1);
+        o.bool("ok", true);
+        o.raw("xs", &u64_array(&[1, 2, 3]));
+        o.raw("fs", &f64_array(&[0.5, 2.0]));
+        let line = o.finish();
+        validate_json_line(&line).expect("writer output must parse");
+        validate_telemetry_line(&line).expect("has required keys");
+    }
+
+    #[test]
+    fn validator_rejects_malformed_lines() {
+        for bad in [
+            "",
+            "{",
+            "{\"a\":}",
+            "{\"a\":1,}",
+            "[1,2",
+            "\"unterminated",
+            "{\"a\":1} trailing",
+            "{'single':1}",
+            "{\"a\":01e}",
+            "nulls",
+            "{\"a\":\u{0007}1}",
+        ] {
+            assert!(validate_json_line(bad).is_err(), "accepted: {bad:?}");
+        }
+    }
+
+    #[test]
+    fn validator_accepts_standard_forms() {
+        for good in [
+            "{}",
+            "[]",
+            "null",
+            "-1.5e-3",
+            "{\"a\":[{\"b\":\"c\\u00e9\"}],\"d\":null}",
+            "  {\"x\": 1}  ",
+        ] {
+            validate_json_line(good).unwrap_or_else(|e| panic!("rejected {good:?}: {e}"));
+        }
+    }
+
+    #[test]
+    fn telemetry_line_requires_keys() {
+        assert!(validate_telemetry_line("{\"t_ns\":1,\"name\":\"x\"}").is_ok());
+        assert!(validate_telemetry_line("{\"t_ns\":1}").is_err());
+        assert!(validate_telemetry_line("[1,2]").is_err());
+    }
+
+    #[test]
+    fn f64_rendering_is_json_safe() {
+        assert_eq!(f64_to_json(f64::NAN), "null");
+        assert_eq!(f64_to_json(f64::INFINITY), "null");
+        validate_json_line(&f64_to_json(0.1)).unwrap();
+        validate_json_line(&f64_to_json(1e300)).unwrap();
+    }
+}

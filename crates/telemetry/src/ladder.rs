@@ -1,0 +1,179 @@
+//! The escalation ladder, shared across the stack.
+//!
+//! Before this module existed the rung names and their counters were
+//! duplicated three times — `ScrubOutcome` (per pass), `MissionStats`
+//! (per mission) and `EnsembleStats` (per ensemble) each carried the same
+//! hand-maintained field block. All three now embed one [`LadderStats`],
+//! and rung identity/severity comes from one [`EscalationRung`] enum.
+
+use crate::event::Severity;
+
+/// The rungs of the scrub pipeline's escalation ladder (DESIGN §8):
+/// repair → rescan → full reconfig → port power-cycle → degrade, with the
+/// codebook self-check/rebuild as rung 0 guarding them all.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum EscalationRung {
+    /// Rung 0: the CRC codebook failed self-check and was rebuilt from
+    /// the ECC-protected FLASH golden.
+    CodebookRebuild,
+    /// Rung 1: verified frame repair with bounded retry.
+    FrameRepair,
+    /// Rung 2: re-scan verify after failed frame repairs.
+    RescanVerify,
+    /// Rung 3: full reconfiguration from FLASH.
+    FullReconfig,
+    /// Rung 4: configuration-port power-cycle.
+    PortPowerCycle,
+    /// Rung 5: the device is marked degraded and leaves the rotation.
+    Degrade,
+}
+
+impl EscalationRung {
+    /// Every rung, lowest first.
+    pub const ALL: [EscalationRung; 6] = [
+        EscalationRung::CodebookRebuild,
+        EscalationRung::FrameRepair,
+        EscalationRung::RescanVerify,
+        EscalationRung::FullReconfig,
+        EscalationRung::PortPowerCycle,
+        EscalationRung::Degrade,
+    ];
+
+    /// The rung number used in the paper-style prose (0–5).
+    pub fn index(self) -> u8 {
+        match self {
+            EscalationRung::CodebookRebuild => 0,
+            EscalationRung::FrameRepair => 1,
+            EscalationRung::RescanVerify => 2,
+            EscalationRung::FullReconfig => 3,
+            EscalationRung::PortPowerCycle => 4,
+            EscalationRung::Degrade => 5,
+        }
+    }
+
+    /// Stable wire name (JSONL `rung` field).
+    pub fn name(self) -> &'static str {
+        match self {
+            EscalationRung::CodebookRebuild => "codebook-rebuild",
+            EscalationRung::FrameRepair => "frame-repair",
+            EscalationRung::RescanVerify => "rescan-verify",
+            EscalationRung::FullReconfig => "full-reconfig",
+            EscalationRung::PortPowerCycle => "port-power-cycle",
+            EscalationRung::Degrade => "degrade",
+        }
+    }
+
+    /// Downlink priority of events at this rung: the higher the ladder
+    /// climbs, the less shedable the evidence.
+    pub fn severity(self) -> Severity {
+        match self {
+            EscalationRung::CodebookRebuild => Severity::Warning,
+            EscalationRung::FrameRepair => Severity::Info,
+            EscalationRung::RescanVerify => Severity::Warning,
+            EscalationRung::FullReconfig => Severity::Warning,
+            EscalationRung::PortPowerCycle => Severity::Warning,
+            EscalationRung::Degrade => Severity::Critical,
+        }
+    }
+}
+
+/// Counters for everything the escalation ladder did — one shared block
+/// embedded by per-pass, per-mission and per-ensemble statistics, merged
+/// with [`LadderStats::merge`] instead of field-by-field bookkeeping.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LadderStats {
+    /// Port SEFIs the scrub machinery observed (aborts + wedges).
+    pub sefis_observed: usize,
+    /// Verify-after-write retries performed (rung 1).
+    pub repair_retries: usize,
+    /// Verify-after-write mismatches seen (rung 1).
+    pub verify_failures: usize,
+    /// Codebook self-check failures repaired from FLASH (rung 0).
+    pub codebook_rebuilds: usize,
+    /// Configuration-port power-cycles performed (rung 4).
+    pub port_resets: usize,
+    /// Frames whose bounded repair attempts all failed and escalated past
+    /// frame repair (rung 1 → 2).
+    pub frames_escalated: usize,
+    /// Golden fetches skipped because of uncorrectable FLASH ECC errors.
+    pub golden_uncorrectable: usize,
+    /// Devices marked degraded (rung 5).
+    pub devices_degraded: usize,
+}
+
+impl LadderStats {
+    /// Fold another block of counters into this one.
+    pub fn merge(&mut self, other: &LadderStats) {
+        self.sefis_observed += other.sefis_observed;
+        self.repair_retries += other.repair_retries;
+        self.verify_failures += other.verify_failures;
+        self.codebook_rebuilds += other.codebook_rebuilds;
+        self.port_resets += other.port_resets;
+        self.frames_escalated += other.frames_escalated;
+        self.golden_uncorrectable += other.golden_uncorrectable;
+        self.devices_degraded += other.devices_degraded;
+    }
+
+    /// True when the ladder never climbed past a clean scan.
+    pub fn is_quiet(&self) -> bool {
+        *self == LadderStats::default()
+    }
+
+    /// `(counter name, value)` pairs in declaration order — for reports
+    /// and metric export without re-listing the fields at every caller.
+    pub fn entries(&self) -> [(&'static str, usize); 8] {
+        [
+            ("sefis_observed", self.sefis_observed),
+            ("repair_retries", self.repair_retries),
+            ("verify_failures", self.verify_failures),
+            ("codebook_rebuilds", self.codebook_rebuilds),
+            ("port_resets", self.port_resets),
+            ("frames_escalated", self.frames_escalated),
+            ("golden_uncorrectable", self.golden_uncorrectable),
+            ("devices_degraded", self.devices_degraded),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rung_names_are_unique_and_ordered() {
+        let names: Vec<_> = EscalationRung::ALL.iter().map(|r| r.name()).collect();
+        let unique: std::collections::HashSet<_> = names.iter().collect();
+        assert_eq!(unique.len(), names.len());
+        for (i, r) in EscalationRung::ALL.iter().enumerate() {
+            assert_eq!(r.index() as usize, i);
+        }
+    }
+
+    #[test]
+    fn degrade_is_critical() {
+        assert_eq!(EscalationRung::Degrade.severity(), Severity::Critical);
+        assert!(EscalationRung::ALL
+            .iter()
+            .all(|r| r.severity() >= Severity::Info));
+    }
+
+    #[test]
+    fn merge_adds_fieldwise() {
+        let mut a = LadderStats {
+            sefis_observed: 1,
+            repair_retries: 2,
+            ..Default::default()
+        };
+        let b = LadderStats {
+            sefis_observed: 10,
+            devices_degraded: 3,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.sefis_observed, 11);
+        assert_eq!(a.repair_retries, 2);
+        assert_eq!(a.devices_degraded, 3);
+        assert!(!a.is_quiet());
+        assert!(LadderStats::default().is_quiet());
+    }
+}

@@ -1,0 +1,313 @@
+//! A lock-free-ish metrics registry.
+//!
+//! Counters and histograms record through `AtomicU64` (gauge/histogram
+//! float state via CAS on the bit pattern), so the hot path never takes a
+//! lock. The registry itself — name → metric — sits behind a `Mutex` that
+//! is touched only at registration and snapshot time, and uses `BTreeMap`
+//! so snapshots iterate in deterministic name order.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::json::{f64_array, f64_to_json, u64_array, JsonObject};
+
+/// Bucket upper bounds (milliseconds) for scrub/repair latency
+/// distributions; cumulative, with an implicit `+Inf` overflow bucket.
+pub const LATENCY_MS_BUCKETS: &[f64] = &[
+    0.01, 0.1, 0.5, 1.0, 5.0, 10.0, 50.0, 100.0, 500.0, 1_000.0, 10_000.0,
+];
+
+/// Bucket upper bounds for small retry/attempt counts.
+pub const RETRIES_BUCKETS: &[f64] = &[0.0, 1.0, 2.0, 3.0, 5.0, 8.0];
+
+/// Bucket upper bounds (items/second) for campaign classify throughput.
+pub const THROUGHPUT_BUCKETS: &[f64] = &[1e3, 1e4, 1e5, 3e5, 1e6, 3e6, 1e7, 3e7, 1e8];
+
+/// Bucket upper bounds for availability fractions ("how many nines").
+pub const AVAILABILITY_BUCKETS: &[f64] = &[0.9, 0.99, 0.999, 0.9999, 0.99999, 1.0];
+
+#[derive(Debug, Default)]
+struct Counter {
+    value: AtomicU64,
+}
+
+#[derive(Debug, Default)]
+struct Gauge {
+    /// f64 bit pattern.
+    bits: AtomicU64,
+}
+
+#[derive(Debug)]
+struct Histogram {
+    bounds: &'static [f64],
+    /// One count per bound, plus the trailing `+Inf` overflow bucket.
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    /// f64 bit pattern of the running sum, updated by CAS.
+    sum_bits: AtomicU64,
+}
+
+impl Histogram {
+    fn new(bounds: &'static [f64]) -> Self {
+        Histogram {
+            bounds,
+            buckets: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum_bits: AtomicU64::new(0f64.to_bits()),
+        }
+    }
+
+    fn observe(&self, v: f64) {
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&b| v <= b)
+            .unwrap_or(self.bounds.len());
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        let mut cur = self.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + v).to_bits();
+            match self.sum_bits.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+}
+
+/// A point-in-time copy of one histogram.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    pub bounds: Vec<f64>,
+    /// Per-bucket counts; `counts.len() == bounds.len() + 1`, the last
+    /// entry being the `+Inf` overflow bucket.
+    pub counts: Vec<u64>,
+    pub count: u64,
+    pub sum: f64,
+}
+
+impl HistogramSnapshot {
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+/// A point-in-time copy of the whole registry, name-ordered.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Snapshot {
+    pub counters: Vec<(String, u64)>,
+    pub gauges: Vec<(String, f64)>,
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+}
+
+impl Snapshot {
+    /// Serialize the snapshot as one JSON object (one JSONL line).
+    pub fn to_json(&self) -> String {
+        let mut o = JsonObject::new();
+        let mut counters = JsonObject::new();
+        for (name, v) in &self.counters {
+            counters.num_u64(name, *v);
+        }
+        o.raw("counters", &counters.finish());
+        let mut gauges = JsonObject::new();
+        for (name, v) in &self.gauges {
+            gauges.num_f64(name, *v);
+        }
+        o.raw("gauges", &gauges.finish());
+        let mut hists = JsonObject::new();
+        for (name, h) in &self.histograms {
+            let mut ho = JsonObject::new();
+            ho.raw("bounds", &f64_array(&h.bounds));
+            ho.raw("counts", &u64_array(&h.counts));
+            ho.num_u64("count", h.count);
+            ho.raw("sum", &f64_to_json(h.sum));
+            hists.raw(name, &ho.finish());
+        }
+        o.raw("histograms", &hists.finish());
+        o.finish()
+    }
+}
+
+#[derive(Debug, Default)]
+struct Registry {
+    counters: BTreeMap<&'static str, Arc<Counter>>,
+    gauges: BTreeMap<&'static str, Arc<Gauge>>,
+    histograms: BTreeMap<&'static str, Arc<Histogram>>,
+}
+
+/// The metrics registry: register-once, record-lock-free.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    inner: Mutex<Registry>,
+}
+
+impl MetricsRegistry {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `delta` to the named counter, creating it at first use.
+    pub fn inc(&self, name: &'static str, delta: u64) {
+        let c = {
+            let mut reg = self.inner.lock().unwrap();
+            Arc::clone(reg.counters.entry(name).or_default())
+        };
+        c.value.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Set the named gauge to `value`, creating it at first use.
+    pub fn gauge(&self, name: &'static str, value: f64) {
+        let g = {
+            let mut reg = self.inner.lock().unwrap();
+            Arc::clone(reg.gauges.entry(name).or_default())
+        };
+        g.bits.store(value.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Record `value` into the named histogram, creating it with `bounds`
+    /// at first use. Later calls with different bounds keep the original.
+    pub fn observe(&self, name: &'static str, bounds: &'static [f64], value: f64) {
+        let h = {
+            let mut reg = self.inner.lock().unwrap();
+            Arc::clone(
+                reg.histograms
+                    .entry(name)
+                    .or_insert_with(|| Arc::new(Histogram::new(bounds))),
+            )
+        };
+        h.observe(value);
+    }
+
+    /// Copy out everything, in deterministic (name) order.
+    pub fn snapshot(&self) -> Snapshot {
+        let reg = self.inner.lock().unwrap();
+        Snapshot {
+            counters: reg
+                .counters
+                .iter()
+                .map(|(name, c)| (name.to_string(), c.value.load(Ordering::Relaxed)))
+                .collect(),
+            gauges: reg
+                .gauges
+                .iter()
+                .map(|(name, g)| {
+                    (
+                        name.to_string(),
+                        f64::from_bits(g.bits.load(Ordering::Relaxed)),
+                    )
+                })
+                .collect(),
+            histograms: reg
+                .histograms
+                .iter()
+                .map(|(name, h)| {
+                    (
+                        name.to_string(),
+                        HistogramSnapshot {
+                            bounds: h.bounds.to_vec(),
+                            counts: h
+                                .buckets
+                                .iter()
+                                .map(|b| b.load(Ordering::Relaxed))
+                                .collect(),
+                            count: h.count.load(Ordering::Relaxed),
+                            sum: f64::from_bits(h.sum_bits.load(Ordering::Relaxed)),
+                        },
+                    )
+                })
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::validate_json_line;
+
+    #[test]
+    fn counters_and_gauges_record() {
+        let m = MetricsRegistry::new();
+        m.inc("a.hits", 2);
+        m.inc("a.hits", 3);
+        m.gauge("a.level", 0.75);
+        let s = m.snapshot();
+        assert_eq!(s.counters, vec![("a.hits".to_string(), 5)]);
+        assert_eq!(s.gauges, vec![("a.level".to_string(), 0.75)]);
+    }
+
+    #[test]
+    fn histogram_bucket_boundaries_are_inclusive_upper() {
+        let m = MetricsRegistry::new();
+        // RETRIES_BUCKETS = [0, 1, 2, 3, 5, 8] (+Inf overflow).
+        for v in [0.0, 1.0, 1.5, 8.0, 9.0] {
+            m.observe("retries", RETRIES_BUCKETS, v);
+        }
+        let s = m.snapshot();
+        let (_, h) = &s.histograms[0];
+        // v <= bound lands in that bucket: 0.0→b0, 1.0→b1, 1.5→b2,
+        // 8.0→b5 (the last finite bound), 9.0→overflow.
+        assert_eq!(h.counts, vec![1, 1, 1, 0, 0, 1, 1]);
+        assert_eq!(h.count, 5);
+        assert!((h.sum - 19.5).abs() < 1e-12);
+        assert!((h.mean() - 3.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_exact_boundary_values_do_not_overflow_early() {
+        let m = MetricsRegistry::new();
+        for &b in LATENCY_MS_BUCKETS {
+            m.observe("lat", LATENCY_MS_BUCKETS, b);
+        }
+        let s = m.snapshot();
+        let (_, h) = &s.histograms[0];
+        let overflow = *h.counts.last().unwrap();
+        assert_eq!(overflow, 0, "exact bound must land in its own bucket");
+        assert!(h.counts[..h.counts.len() - 1].iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn snapshot_is_name_ordered_and_json_valid() {
+        let m = MetricsRegistry::new();
+        m.inc("z.last", 1);
+        m.inc("a.first", 1);
+        m.observe("mid", RETRIES_BUCKETS, 1.0);
+        let s = m.snapshot();
+        assert_eq!(s.counters[0].0, "a.first");
+        assert_eq!(s.counters[1].0, "z.last");
+        validate_json_line(&s.to_json()).expect("snapshot JSON must parse");
+    }
+
+    #[test]
+    fn concurrent_observation_loses_nothing() {
+        let m = Arc::new(MetricsRegistry::new());
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let m = Arc::clone(&m);
+                std::thread::spawn(move || {
+                    for i in 0..1000 {
+                        m.inc("hits", 1);
+                        m.observe("lat", LATENCY_MS_BUCKETS, (i % 7) as f64);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let s = m.snapshot();
+        assert_eq!(s.counters[0].1, 4000);
+        assert_eq!(s.histograms[0].1.count, 4000);
+    }
+}

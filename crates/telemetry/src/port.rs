@@ -1,0 +1,66 @@
+//! Plain counters for SelectMAP configuration-port faults.
+//!
+//! `cibola-arch::Device` is cloned freely on hot campaign paths, so it
+//! cannot carry a telemetry handle; it carries this `Copy`-able counter
+//! block instead, and higher layers fold the deltas into events/metrics.
+
+/// Per-device tallies of observed configuration-port faults.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PortFaultStats {
+    /// Readback words corrupted in flight (`ReadFault::Corrupt`).
+    pub read_corruptions: u64,
+    /// Readbacks aborted mid-frame (`ReadFault::Abort`).
+    pub read_aborts: u64,
+    /// Writes silently dropped (`WriteFault::SilentDrop`).
+    pub write_drops: u64,
+    /// Operations that wedged the port (read or write).
+    pub wedges: u64,
+    /// Operations rejected because the port was already wedged.
+    pub wedged_rejections: u64,
+    /// Port power-cycles performed.
+    pub resets: u64,
+}
+
+impl PortFaultStats {
+    /// Total faults observed (not counting resets, which are a remedy).
+    pub fn total_faults(&self) -> u64 {
+        self.read_corruptions
+            + self.read_aborts
+            + self.write_drops
+            + self.wedges
+            + self.wedged_rejections
+    }
+
+    /// Fold another device's counters into this one.
+    pub fn merge(&mut self, other: &PortFaultStats) {
+        self.read_corruptions += other.read_corruptions;
+        self.read_aborts += other.read_aborts;
+        self.write_drops += other.write_drops;
+        self.wedges += other.wedges;
+        self.wedged_rejections += other.wedged_rejections;
+        self.resets += other.resets;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_and_merge() {
+        let mut a = PortFaultStats {
+            read_corruptions: 1,
+            wedges: 2,
+            resets: 5,
+            ..Default::default()
+        };
+        assert_eq!(a.total_faults(), 3);
+        a.merge(&PortFaultStats {
+            read_aborts: 4,
+            resets: 1,
+            ..Default::default()
+        });
+        assert_eq!(a.total_faults(), 7);
+        assert_eq!(a.resets, 6);
+    }
+}

@@ -1,0 +1,271 @@
+//! The `Telemetry` handle — the one type the rest of the stack holds.
+//!
+//! A handle is either *disabled* (the default: one `Option` branch per
+//! call, no allocation, no locking — mission results are bit-identical to
+//! an uninstrumented build) or *recording* (shared core with the full
+//! event log, flight-recorder rings and the metrics registry). Handles
+//! are cheap clones of the same core, so a payload, its mission kernel
+//! and an ensemble member can all feed one recorder.
+
+use std::sync::{Arc, Mutex};
+
+use crate::event::{Severity, Subsystem, TelemetryEvent};
+use crate::metrics::{MetricsRegistry, Snapshot};
+use crate::recorder::{FlightRecorder, PostMortem};
+
+/// Capacities for the recording core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TelemetryConfig {
+    /// Flight-recorder ring size per `(board, fpga)`.
+    pub per_device_capacity: usize,
+    /// Flight-recorder global ring size.
+    pub global_capacity: usize,
+}
+
+impl Default for TelemetryConfig {
+    fn default() -> Self {
+        TelemetryConfig {
+            per_device_capacity: FlightRecorder::DEFAULT_PER_DEVICE,
+            global_capacity: FlightRecorder::DEFAULT_GLOBAL,
+        }
+    }
+}
+
+/// Anything events can be pushed into. [`NullSink`] is the zero-cost
+/// default; [`Telemetry`] is the real implementation.
+pub trait TelemetrySink {
+    /// False means callers may skip building events entirely.
+    fn enabled(&self) -> bool {
+        false
+    }
+    /// Record one event. Default: drop it.
+    fn record(&self, _event: TelemetryEvent) {}
+}
+
+/// The do-nothing sink: `enabled()` is false and `record` discards.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NullSink;
+
+impl TelemetrySink for NullSink {}
+
+#[derive(Debug)]
+struct TelemetryCore {
+    /// Every event in emission order — the JSONL dump source.
+    log: Mutex<Vec<TelemetryEvent>>,
+    recorder: Mutex<FlightRecorder>,
+    metrics: MetricsRegistry,
+}
+
+/// The cloneable telemetry handle. `Default` is disabled.
+#[derive(Debug, Clone, Default)]
+pub struct Telemetry {
+    inner: Option<Arc<TelemetryCore>>,
+}
+
+impl Telemetry {
+    /// The zero-cost disabled handle.
+    pub fn disabled() -> Self {
+        Telemetry { inner: None }
+    }
+
+    /// A recording handle with default ring capacities.
+    pub fn recording() -> Self {
+        Telemetry::with_config(TelemetryConfig::default())
+    }
+
+    pub fn with_config(config: TelemetryConfig) -> Self {
+        Telemetry {
+            inner: Some(Arc::new(TelemetryCore {
+                log: Mutex::new(Vec::new()),
+                recorder: Mutex::new(FlightRecorder::new(
+                    config.per_device_capacity,
+                    config.global_capacity,
+                )),
+                metrics: MetricsRegistry::new(),
+            })),
+        }
+    }
+
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Record a fully-built event.
+    pub fn emit(&self, event: TelemetryEvent) {
+        if let Some(core) = &self.inner {
+            core.recorder.lock().unwrap().record(&event);
+            core.log.lock().unwrap().push(event);
+        }
+    }
+
+    /// Build-and-emit: `build` runs only when recording, so the disabled
+    /// path costs one branch and zero allocations.
+    pub fn emit_with(&self, build: impl FnOnce() -> TelemetryEvent) {
+        if self.is_enabled() {
+            self.emit(build());
+        }
+    }
+
+    /// Shorthand for a field-less point event.
+    pub fn point(&self, subsystem: Subsystem, severity: Severity, name: &'static str, t_ns: u64) {
+        self.emit_with(|| TelemetryEvent::point(subsystem, severity, name, t_ns));
+    }
+
+    /// Shorthand for a field-less span.
+    pub fn span(&self, subsystem: Subsystem, name: &'static str, t_ns: u64, dur_ns: u64) {
+        self.emit_with(|| TelemetryEvent::span(subsystem, name, t_ns, dur_ns));
+    }
+
+    /// Add to a metrics counter (no-op when disabled).
+    pub fn inc(&self, name: &'static str, delta: u64) {
+        if let Some(core) = &self.inner {
+            core.metrics.inc(name, delta);
+        }
+    }
+
+    /// Set a metrics gauge (no-op when disabled).
+    pub fn gauge(&self, name: &'static str, value: f64) {
+        if let Some(core) = &self.inner {
+            core.metrics.gauge(name, value);
+        }
+    }
+
+    /// Record into a histogram (no-op when disabled).
+    pub fn observe(&self, name: &'static str, bounds: &'static [f64], value: f64) {
+        if let Some(core) = &self.inner {
+            core.metrics.observe(name, bounds, value);
+        }
+    }
+
+    /// Copy of the full event log (empty when disabled).
+    pub fn events(&self) -> Vec<TelemetryEvent> {
+        match &self.inner {
+            Some(core) => core.log.lock().unwrap().clone(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Post-mortems captured by the flight recorder.
+    pub fn post_mortems(&self) -> Vec<PostMortem> {
+        match &self.inner {
+            Some(core) => core.recorder.lock().unwrap().post_mortems().to_vec(),
+            None => Vec::new(),
+        }
+    }
+
+    /// One device's flight-recorder ring, oldest first.
+    pub fn device_timeline(&self, board: u16, fpga: u16) -> Vec<TelemetryEvent> {
+        match &self.inner {
+            Some(core) => core.recorder.lock().unwrap().device_timeline(board, fpga),
+            None => Vec::new(),
+        }
+    }
+
+    /// Metrics snapshot (empty when disabled).
+    pub fn snapshot(&self) -> Snapshot {
+        match &self.inner {
+            Some(core) => core.metrics.snapshot(),
+            None => Snapshot::default(),
+        }
+    }
+
+    /// Serialize every logged event as JSONL, one event per line, in
+    /// emission order. Deterministic for deterministic missions.
+    pub fn dump_jsonl(&self) -> String {
+        let mut out = String::new();
+        for ev in self.events() {
+            out.push_str(&ev.to_jsonl());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// One JSONL line carrying the metrics snapshot, shaped like an event
+    /// (`t_ns`/`name` present) so dumps stay uniformly lintable.
+    pub fn snapshot_jsonl(&self, t_ns: u64) -> String {
+        use crate::json::JsonObject;
+        let snap = self.snapshot();
+        let inner = snap.to_json();
+        let mut o = JsonObject::new();
+        o.num_u64("t_ns", t_ns);
+        o.str("sev", Severity::Info.name());
+        o.str("sub", "telemetry");
+        o.str("name", "telemetry.snapshot");
+        // `inner` is `{"counters":...}` — splice its body into this object.
+        o.raw("metrics", &inner);
+        o.finish()
+    }
+}
+
+impl TelemetrySink for Telemetry {
+    fn enabled(&self) -> bool {
+        self.is_enabled()
+    }
+
+    fn record(&self, event: TelemetryEvent) {
+        self.emit(event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::{validate_json_line, validate_telemetry_line};
+
+    #[test]
+    fn disabled_handle_is_inert() {
+        let t = Telemetry::disabled();
+        assert!(!t.is_enabled());
+        t.point(Subsystem::Scrub, Severity::Critical, "x", 1);
+        t.inc("c", 1);
+        t.observe("h", crate::metrics::RETRIES_BUCKETS, 1.0);
+        assert!(t.events().is_empty());
+        assert!(t.post_mortems().is_empty());
+        assert!(t.snapshot().counters.is_empty());
+        assert!(t.dump_jsonl().is_empty());
+    }
+
+    #[test]
+    fn emit_with_skips_closure_when_disabled() {
+        let t = Telemetry::disabled();
+        let mut called = false;
+        t.emit_with(|| {
+            called = true;
+            TelemetryEvent::point(Subsystem::Scrub, Severity::Info, "x", 0)
+        });
+        assert!(!called, "disabled sink must not build events");
+    }
+
+    #[test]
+    fn clones_share_one_core() {
+        let t = Telemetry::recording();
+        let u = t.clone();
+        u.point(Subsystem::Mission, Severity::Info, "mission.start", 0);
+        u.inc("rounds", 3);
+        assert_eq!(t.events().len(), 1);
+        assert_eq!(t.snapshot().counters[0].1, 3);
+    }
+
+    #[test]
+    fn dump_lines_all_lint() {
+        let t = Telemetry::recording();
+        t.emit(
+            TelemetryEvent::point(
+                Subsystem::Scrub,
+                Severity::Critical,
+                "scrub.device_degraded",
+                9,
+            )
+            .with_device(0, 1)
+            .with_str("reason", "port"),
+        );
+        t.span(Subsystem::Mission, "mission.round", 0, 500);
+        for line in t.dump_jsonl().lines() {
+            validate_telemetry_line(line).expect("every dump line lints");
+        }
+        assert_eq!(t.post_mortems().len(), 1);
+        let snap_line = t.snapshot_jsonl(10);
+        validate_json_line(&snap_line).unwrap();
+        validate_telemetry_line(&snap_line).unwrap();
+    }
+}

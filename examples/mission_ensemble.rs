@@ -60,6 +60,7 @@ fn main() {
         base_seed: 0x00E5_EB1E,
         missions,
         parallel: true,
+        telemetry: Telemetry::disabled(),
     };
 
     let start = Instant::now();
@@ -91,12 +92,12 @@ fn main() {
     );
     println!(
         "escalation rungs: {} retries, {} verify failures, {} codebook rebuilds, {} port resets, {} frames escalated, {} devices degraded",
-        s.repair_retries,
-        s.verify_failures,
-        s.codebook_rebuilds,
-        s.port_resets,
-        s.frames_escalated,
-        s.devices_degraded
+        s.ladder.repair_retries,
+        s.ladder.verify_failures,
+        s.ladder.codebook_rebuilds,
+        s.ladder.port_resets,
+        s.ladder.frames_escalated,
+        s.ladder.devices_degraded
     );
 
     // The three roughest missions, replayable bit-for-bit from their seed.

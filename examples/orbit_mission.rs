@@ -2,14 +2,33 @@
 //! simulated day in LEO, including a solar-flare window (paper §I–II).
 //!
 //! Run with: `cargo run --release -p cibola --example orbit_mission`
+//!
+//! Pass `--telemetry out.jsonl` to fly the same mission with the flight
+//! recorder attached: every scrub/escalation event is dumped as JSONL
+//! (plus a final metrics-snapshot line), the SOH downlink is planned
+//! under a deliberately tight per-pass byte budget so shedding is
+//! visible, and any captured post-mortem timeline is walked on stdout.
 
 use std::collections::HashMap;
 
 use cibola::prelude::*;
-use cibola::scrub::SohEvent;
+use cibola::scrub::{SohEvent, SOH_RECORD_BYTES};
 
 fn main() {
     let geom = Geometry::tiny();
+
+    let mut cli = std::env::args().skip(1);
+    let mut telemetry_path: Option<String> = None;
+    while let Some(arg) = cli.next() {
+        if arg == "--telemetry" {
+            telemetry_path = Some(cli.next().expect("--telemetry needs an output path"));
+        }
+    }
+    let telemetry = if telemetry_path.is_some() {
+        Telemetry::recording()
+    } else {
+        Telemetry::disabled()
+    };
 
     // Nine designs across three boards — the radio's signal-processing
     // complement (scaled to the demo device).
@@ -22,7 +41,7 @@ fn main() {
         cibola::designs::PaperDesign::CounterAdder { width: 6 },
     ];
 
-    let mut payload = Payload::new();
+    let mut payload = Payload::new().with_telemetry(telemetry.clone());
     let mut sensitivity = HashMap::new();
     for board in 0..3 {
         for d in &designs {
@@ -80,6 +99,17 @@ fn main() {
             },
             ..Default::default()
         }),
+        // In telemetry mode, plan the SOH backlog onto 15-minute ground
+        // passes carrying only six 16-byte records each — deliberately
+        // tight against the accelerated upset rates, so the budgeted
+        // encoder has something to shed and account for.
+        soh_downlink: telemetry_path.as_ref().map(|_| {
+            SohDownlinkPolicy::new(
+                6 * SOH_RECORD_BYTES as u64,
+                SimDuration::from_secs(15 * 60).as_nanos(),
+                SOH_RECORD_BYTES as u64,
+            )
+        }),
         ..Default::default()
     };
     let stats = run_mission(&mut payload, &cfg, &sensitivity);
@@ -112,16 +142,16 @@ fn main() {
     );
     println!(
         "fault-management path: {} SEFIs injected ({} observed by the scrubber), {} codebook upset(s)",
-        stats.sefis_injected, stats.sefis_observed, stats.codebook_upsets
+        stats.sefis_injected, stats.ladder.sefis_observed, stats.codebook_upsets
     );
     println!(
         "escalation ladder: {} verify failures, {} retries, {} codebook rebuilds, {} port resets, {} frames escalated, {} devices degraded",
-        stats.verify_failures,
-        stats.repair_retries,
-        stats.codebook_rebuilds,
-        stats.port_resets,
-        stats.frames_escalated,
-        stats.devices_degraded
+        stats.ladder.verify_failures,
+        stats.ladder.repair_retries,
+        stats.ladder.codebook_rebuilds,
+        stats.ladder.port_resets,
+        stats.ladder.frames_escalated,
+        stats.ladder.devices_degraded
     );
 
     println!("\nfirst state-of-health records downlinked:");
@@ -171,5 +201,35 @@ fn main() {
             }
             other => println!("  {t} board {} fpga {} {other:?}", r.board, r.fpga),
         }
+    }
+
+    if let Some(path) = telemetry_path {
+        println!(
+            "\n── flight recorder ──\nSOH downlink: {} pass(es), {} event(s) shed for budget",
+            stats.soh_downlink_passes, stats.soh_shed_events
+        );
+        for pm in telemetry.post_mortems() {
+            println!(
+                "post-mortem: board {} fpga {} degraded at {} (trigger {})",
+                pm.board,
+                pm.fpga,
+                SimTime(pm.t_ns),
+                pm.trigger
+            );
+            for ev in &pm.timeline {
+                println!(
+                    "  {} {} [{}]",
+                    SimTime(ev.t_ns),
+                    ev.name,
+                    ev.severity.name()
+                );
+            }
+        }
+        let mut dump = telemetry.dump_jsonl();
+        dump.push_str(&telemetry.snapshot_jsonl(cfg.duration.as_nanos()));
+        dump.push('\n');
+        let lines = dump.lines().count();
+        std::fs::write(&path, dump).expect("write telemetry dump");
+        println!("wrote {lines} JSONL line(s) to {path}");
     }
 }
