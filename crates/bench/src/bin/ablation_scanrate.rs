@@ -5,73 +5,14 @@
 //!
 //! Usage: `cargo run --release -p cibola-bench --bin ablation_scanrate`
 
-use std::collections::HashMap;
-
-use cibola::designs::PaperDesign;
-use cibola::prelude::*;
+use cibola_bench::experiments::scanrate::{self, ScanrateParams};
 use cibola_bench::Args;
 
 fn main() {
     let args = Args::parse();
-    let geom = args.geometry("tiny");
-    let hours = args.usize("--hours", 6) as u64;
-
-    let nl = PaperDesign::CounterAdder { width: 6 }.netlist();
-    let imp = implement(&nl, &geom).unwrap();
-    let tb = Testbed::new(&imp, 0xAB1A, 64);
-    let campaign = run_campaign(
-        &tb,
-        &CampaignConfig {
-            observe_cycles: 32,
-            classify_persistence: false,
-            ..Default::default()
-        },
-    );
-
-    println!("# Ablation — scan-cadence vs availability ({hours} h, 9 FPGAs)");
-    println!(
-        "{:>18} | {:>12} | {:>15} | {:>15} | {:>12}",
-        "per-frame overhead", "scan cycle", "mean latency", "max latency", "availability"
-    );
-    println!("{}", "-".repeat(84));
-
-    // Slow the Actel's per-frame processing to stretch the scan cycle.
-    for overhead_us in [5u64, 50, 500, 5000] {
-        let mut payload = Payload::new();
-        let mut sens = HashMap::new();
-        for board in 0..3 {
-            for _ in 0..3 {
-                let pos = payload.load_design(board, "ctr", &geom, &imp.bitstream);
-                sens.insert(pos, campaign.sensitive_set());
-            }
-        }
-        for (b, f) in payload.positions() {
-            payload.fpga_mut(b, f).manager.frame_overhead = SimDuration::from_micros(overhead_us);
-        }
-        let stats = run_mission(
-            &mut payload,
-            &MissionConfig {
-                duration: SimDuration::from_secs(hours * 3600),
-                rates: OrbitRates {
-                    quiet_per_hour: 600.0,
-                    flare_per_hour: 600.0,
-                    devices: 9,
-                },
-                periodic_full_reconfig: Some(SimDuration::from_secs(1800)),
-                ..Default::default()
-            },
-            &sens,
-        );
-        println!(
-            "{:>15} µs | {:>9.1} ms | {:>12.1} ms | {:>12.1} ms | {:>12.6}",
-            overhead_us,
-            stats.scan_cycle_ms,
-            stats.detect_latency_mean_ms,
-            stats.detect_latency_max_ms,
-            stats.availability
-        );
-    }
-    println!("{}", "-".repeat(84));
-    println!("# detection latency tracks the scan cycle (an upset waits at most one scan),");
-    println!("# and availability degrades as sensitive upsets linger longer before repair.");
+    let params = ScanrateParams {
+        geometry: args.geometry("tiny"),
+        hours: args.usize("--hours", 6) as u64,
+    };
+    print!("{}", scanrate::run(&params).report);
 }

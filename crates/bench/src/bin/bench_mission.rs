@@ -30,26 +30,13 @@ use std::fmt::Write as _;
 use std::time::Instant;
 
 use cibola::prelude::*;
-use cibola_bench::Args;
+use cibola_bench::{env_usize, Args};
 use cibola_netlist::gen;
 use cibola_scrub::{run_ensemble, run_mission_reference, EnsembleConfig, MissionStats};
 
-fn env_usize(key: &str, default: usize) -> usize {
-    std::env::var(key)
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(default)
-}
-
 fn nine_fpga_payload(geom: &Geometry) -> Payload {
     let imp = implement(&gen::counter_adder(4), geom).expect("tiny payload design fits");
-    let mut payload = Payload::new();
-    for board in 0..3 {
-        for _ in 0..3 {
-            payload.load_design(board, "ctr", geom, &imp.bitstream);
-        }
-    }
-    payload
+    cibola_bench::nine_fpga_payload(geom, &imp, "ctr")
 }
 
 fn main() {

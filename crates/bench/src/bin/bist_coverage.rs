@@ -7,73 +7,14 @@
 //! Usage: `cargo run --release -p cibola-bench --bin bist_coverage --
 //!          [--faults 24]`
 
-use cibola::bist::{coverage_campaign, BistSuite, WireTest};
-use cibola::prelude::*;
+use cibola_bench::experiments::bist::{self, BistParams};
 use cibola_bench::Args;
 
 fn main() {
     let args = Args::parse();
-    let geom = args.geometry("tiny");
-    let faults = args.usize("--faults", 24);
-
-    println!("# §II-B — BIST for Permanent Faults");
-
-    // Operation counts of one wire-test sweep (paper Fig. 5).
-    let wt = WireTest::new(&geom, 0);
-    let mut clean = Device::new(geom.clone());
-    let report = wt.run(&mut clean);
-    println!(
-        "wire test, one row: {} reconfiguration rounds (paper: 20), {} readbacks (paper: 40), {} frames rewritten, {} simulated",
-        report.reconfig_rounds, report.readback_passes, report.frames_rewritten, report.duration
-    );
-    assert!(report.faults.is_empty());
-
-    // Isolation demo.
-    let mut faulty = Device::new(geom.clone());
-    faulty.inject_stuck_fault(
-        FaultSite::Wire {
-            tile: Tile::new(0, geom.cols / 2),
-            wire: (cibola::arch::Dir::East as usize * 24 + 9) as u8,
-        },
-        false,
-    );
-    let report = wt.run(&mut faulty);
-    for f in &report.faults {
-        println!(
-            "isolation: stuck fault detected on wire {} — break localised between columns {} and {}",
-            f.wire,
-            f.first_bad_col - 1,
-            f.first_bad_col
-        );
-    }
-
-    // Coverage campaign over the full suite.
-    println!("\n# coverage campaign: {faults} random stuck-at faults, full suite (wire test on every row + both CLB variants)");
-    let suite = BistSuite::full(&geom);
-    let cov = coverage_campaign(&geom, &suite, faults, 0xB157_C0DE);
-    let by_wire = cov
-        .outcomes
-        .iter()
-        .filter(|o| o.caught_by == Some("wire"))
-        .count();
-    let by_clb = cov
-        .outcomes
-        .iter()
-        .filter(|o| o.caught_by == Some("clb"))
-        .count();
-    println!(
-        "coverage: {:.0}% ({}/{}) — {} by the wire test, {} by the CLB test",
-        100.0 * cov.coverage(),
-        cov.detected,
-        cov.injected,
-        by_wire,
-        by_clb
-    );
-    println!(
-        "diagnostic configurations used: {} ({} simulated on-orbit time)",
-        cov.configurations_used, cov.duration
-    );
-    for o in cov.outcomes.iter().filter(|o| !o.detected) {
-        println!("  missed: {:?} stuck-at-{}", o.site, o.stuck as u8);
-    }
+    let params = BistParams {
+        geometry: args.geometry("tiny"),
+        faults: args.usize("--faults", 24),
+    };
+    print!("{}", bist::run(&params).report);
 }

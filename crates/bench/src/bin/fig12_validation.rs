@@ -8,98 +8,14 @@
 //! Usage: `cargo run --release -p cibola-bench --bin fig12_validation --
 //!          [--observations 4000]`
 
-use cibola::designs::PaperDesign;
-use cibola::inject::ErrorCause;
-use cibola::prelude::*;
+use cibola_bench::experiments::fig12::{self, Fig12Params};
 use cibola_bench::Args;
 
 fn main() {
     let args = Args::parse();
-    let geom = args.geometry("tiny");
-    let observations = args.usize("--observations", 4000);
-
-    println!("# Figs. 11–12 — Accelerator Validation of the SEU Simulator");
-    println!(
-        "# {} observations of 0.5 s, flux ≈2 upsets/s, loop time 430 µs",
-        observations
-    );
-    println!(
-        "{:<18} | {:>7} | {:>7} | {:>9} | {:>10} | {:>10}",
-        "Design", "Strikes", "Errors", "Predicted", "Hidden", "Agreement"
-    );
-    println!("{}", "-".repeat(78));
-
-    let mut total_err = 0usize;
-    let mut total_pred = 0usize;
-    for (i, d) in [
-        PaperDesign::CounterAdder { width: 6 },
-        PaperDesign::LfsrScaled {
-            clusters: 2,
-            bits: 10,
-        },
-        PaperDesign::Mult { width: 5 },
-    ]
-    .into_iter()
-    .enumerate()
-    {
-        let nl = d.netlist();
-        let imp = implement(&nl, &geom).unwrap();
-        let tb = Testbed::new(&imp, 0xBEA3 + i as u64, 40_000);
-        let campaign = run_campaign(
-            &tb,
-            &CampaignConfig {
-                observe_cycles: 64,
-                classify_persistence: false,
-                ..Default::default()
-            },
-        );
-        let map = campaign.sensitive_set();
-
-        let mut beam = ProtonBeam::new(
-            BeamConfig {
-                upsets_per_second: 2.0,
-                mix: TargetMix::default(),
-                half_latch_recovery_mean_s: Some(120.0),
-            },
-            0xACC0 + i as u64,
-        );
-        let r = beam_validation(
-            &tb,
-            &mut beam,
-            &map,
-            &BeamRunConfig {
-                observations,
-                cycles_per_observation: 64,
-                ..Default::default()
-            },
-        );
-        let predicted = r
-            .error_events
-            .iter()
-            .filter(|c| **c == ErrorCause::PredictedConfig)
-            .count();
-        let hidden = r
-            .error_events
-            .iter()
-            .filter(|c| **c == ErrorCause::HiddenState)
-            .count();
-        total_err += r.error_count();
-        total_pred += predicted;
-        println!(
-            "{:<18} | {:>7} | {:>7} | {:>9} | {:>10} | {:>9.1}%",
-            d.label(),
-            r.config_strikes + r.half_latch_strikes + r.user_ff_strikes + r.fsm_strikes,
-            r.error_count(),
-            predicted,
-            hidden,
-            100.0 * r.agreement(),
-        );
-    }
-    println!("{}", "-".repeat(78));
-    println!(
-        "# aggregate agreement: {:.1}% of observed output errors predicted by the simulator",
-        100.0 * total_pred as f64 / total_err.max(1) as f64
-    );
-    println!("# (paper: 97.6%; the shortfall is hidden state — half-latches, user FFs, the");
-    println!("#  configuration state machine — which no bitstream-corruption simulator can see)");
+    let params = Fig12Params {
+        geometry: args.geometry("tiny"),
+        observations: args.usize("--observations", 4000),
+    };
+    print!("{}", fig12::run(&params).report);
 }

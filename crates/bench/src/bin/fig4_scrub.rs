@@ -5,96 +5,15 @@
 //!
 //! Usage: `cargo run --release -p cibola-bench --bin fig4_scrub`
 
-use std::collections::HashMap;
-
-use cibola::designs::PaperDesign;
-use cibola::prelude::*;
+use cibola_bench::experiments::fig4::{self, Fig4Params};
 use cibola_bench::Args;
 
 fn main() {
     let args = Args::parse();
-
-    // Part 1: the 180 ms claim, at true flight scale.
-    let flight = Geometry::xqvr1000();
-    let blank = ConfigMemory::new(flight.clone());
-    let mut payload = Payload::new();
-    for _ in 0..3 {
-        payload.load_design(0, "radio-app", &flight, &blank);
-    }
-    let cycle = payload.board_scan_cycle(0);
-    println!("# Fig. 4 — On-Orbit SEU-Induced Fault Detection and Correction");
-    println!(
-        "scan cycle for 3 × {}: {} (paper: ≈180 ms)",
-        flight.name, cycle
-    );
-    let frames = blank.frame_count();
-    println!(
-        "  per device: {frames} frames, {:.1} Mbit of configuration",
-        blank.total_bits() as f64 / 1e6
-    );
-
-    // Part 2: detection latency and availability, accelerated environment
-    // on a demo-scale device.
-    let geom = args.geometry("tiny");
-    let nl = PaperDesign::CounterAdder { width: 6 }.netlist();
-    let imp = implement(&nl, &geom).unwrap();
-    let tb = Testbed::new(&imp, 11, 64);
-    let campaign = run_campaign(
-        &tb,
-        &CampaignConfig {
-            observe_cycles: 32,
-            classify_persistence: false,
-            ..Default::default()
-        },
-    );
-
-    let mut payload = Payload::new();
-    let mut sens = HashMap::new();
-    for board in 0..3 {
-        for _ in 0..3 {
-            let pos = payload.load_design(board, "ctr", &geom, &imp.bitstream);
-            sens.insert(pos, campaign.sensitive_set());
-        }
-    }
-    let hours = args.usize("--hours", 12) as u64;
-    let accel = args.f64("--accel", 200.0);
-    let stats = run_mission(
-        &mut payload,
-        &MissionConfig {
-            duration: SimDuration::from_secs(hours * 3600),
-            rates: OrbitRates {
-                quiet_per_hour: 1.2 * accel,
-                flare_per_hour: 9.6 * accel,
-                devices: 9,
-            },
-            flare: Some((
-                SimTime::from_secs(hours * 3600 / 3),
-                SimTime::from_secs(hours * 3600 / 2),
-            )),
-            periodic_full_reconfig: Some(SimDuration::from_secs(1800)),
-            ..Default::default()
-        },
-        &sens,
-    );
-
-    println!("\n# Mission ({hours} h simulated, {accel}× accelerated environment, 9 FPGAs)");
-    println!(
-        "upsets: {} (config {}, masked {}, half-latch {}, user-FF {}, FSM {})",
-        stats.upsets_total,
-        stats.upsets_config,
-        stats.upsets_config_masked,
-        stats.upsets_half_latch,
-        stats.upsets_user_ff,
-        stats.upsets_fsm
-    );
-    println!(
-        "scrubber: {} frame repairs, {} full reconfigurations, {} scan cycles of {:.1} ms",
-        stats.frames_repaired, stats.full_reconfigs, stats.scrub_cycles, stats.scan_cycle_ms
-    );
-    println!(
-        "detection latency: mean {:.1} ms / max {:.1} ms (bounded by the scan cadence)",
-        stats.detect_latency_mean_ms, stats.detect_latency_max_ms
-    );
-    println!("availability: {:.6}", stats.availability);
-    println!("state-of-health records: {}", stats.soh_records);
+    let params = Fig4Params {
+        geometry: args.geometry("tiny"),
+        hours: args.usize("--hours", 12) as u64,
+        accel: args.f64("--accel", 200.0),
+    };
+    print!("{}", fig4::run(&params).report);
 }

@@ -5,76 +5,14 @@
 //!
 //! Usage: `cargo run --release -p cibola-bench --bin fig7`
 
-use cibola::designs::PaperDesign;
-use cibola::prelude::*;
+use cibola_bench::experiments::fig7::{self, Fig7Params};
 use cibola_bench::Args;
 
 fn main() {
     let args = Args::parse();
-    let geom = args.geometry("tiny");
-    let width = args.usize("--width", 8);
-
-    let nl = PaperDesign::CounterAdder { width }.netlist();
-    let imp = implement(&nl, &geom).unwrap();
-    let tb = Testbed::new(&imp, 0xF167, 700);
-
-    // Find persistent bits with a quick campaign.
-    let campaign = run_campaign(
-        &tb,
-        &CampaignConfig {
-            observe_cycles: 48,
-            persist_cycles: 64,
-            ..Default::default()
-        },
-    );
-    let persistent = campaign.persistent_bits();
-    assert!(
-        !persistent.is_empty(),
-        "counter design must expose persistent bits"
-    );
-    // Prefer a bit whose error appears promptly (a counter state bit).
-    let bit = campaign
-        .sensitive
-        .iter()
-        .filter(|s| s.persistent)
-        .min_by_key(|s| s.first_error_cycle)
-        .unwrap()
-        .bit;
-
-    let schedule = TraceSchedule {
-        upset_at: 502,
-        repair_at: 530,
-        reset_at: 580,
-        total: 640,
+    let params = Fig7Params {
+        geometry: args.geometry("tiny"),
+        width: args.usize("--width", 8),
     };
-    let trace = capture_trace(&tb, bit, schedule);
-
-    println!("# Fig. 7 — Errors Induced by Persistent Configuration Bits");
-    println!(
-        "# design '{}' on {}, configuration bit {bit} ({:?})",
-        nl.name,
-        geom.name,
-        imp.bitstream.describe(bit)
-    );
-    println!(
-        "# upset @{} | scrub repair @{} | reset @{}",
-        schedule.upset_at, schedule.repair_at, schedule.reset_at
-    );
-    println!("cycle,expected,actual,mismatch");
-    for p in &trace.points {
-        if p.cycle >= 490 {
-            println!(
-                "{},{},{},{}",
-                p.cycle, p.expected, p.actual, p.mismatch as u8
-            );
-        }
-    }
-    println!(
-        "# errors in (repair, reset): {} — repairing the bit did NOT heal the design",
-        trace.errors_after_repair
-    );
-    println!(
-        "# errors after reset: {} — the reset re-synchronised it (paper: \"The design must be reset\")",
-        trace.errors_after_reset
-    );
+    print!("{}", fig7::run(&params).report);
 }

@@ -5,37 +5,22 @@
 //! "orders of magnitude speed-up over purely software techniques" claim
 //! inverted: our software substrate's actual rate.
 //!
+//! The cost model comes from the experiments library (shared with the
+//! oracle and the golden snapshots); the host-throughput section below is
+//! wall-clock-dependent and stays binary-only.
+//!
 //! Usage: `cargo run --release -p cibola-bench --bin fig8`
 
 use cibola::designs::PaperDesign;
-use cibola::inject::InjectTiming;
 use cibola::prelude::*;
+use cibola_bench::experiments::fig8;
 use cibola_bench::Args;
 
 fn main() {
     let args = Args::parse();
     let geom = args.geometry("tiny");
 
-    let timing = InjectTiming::default();
-    println!("# Fig. 8 — SEU Fault Injection Loop");
-    println!("loop cost model (simulated device time):");
-    println!("  corrupt (partial reconfiguration): {}", timing.corrupt);
-    println!("  repair:                            {}", timing.repair);
-    println!(
-        "  observe/log overhead:              {}",
-        timing.observe_overhead
-    );
-    println!(
-        "  per-bit total:                     {} (paper: 214 µs)",
-        timing.per_bit()
-    );
-    let flight_bits = 5_800_000u64;
-    let flight = timing.per_bit() * flight_bits;
-    println!(
-        "  exhaustive over {:.1} Mbit:          {:.1} min (paper: ≈20 min)",
-        flight_bits as f64 / 1e6,
-        flight.as_secs_f64() / 60.0
-    );
+    print!("{}", fig8::run().report);
 
     println!("\n# host-side throughput of this reproduction");
     for d in [

@@ -5,126 +5,17 @@
 //! The paper: "Mitigated designs were found to be 100X [more] resistant
 //! to failure than unmitigated designs."
 //!
-//! The per-strike hidden-state cross-section scales with the number of
-//! half-latches the design actually instantiates (hundreds here; the
-//! paper's flight designs had hundreds to thousands), so removing them
-//! shrinks that term to zero and only the tiny configuration-FSM
-//! cross-section remains.
-//!
 //! Usage: `cargo run --release -p cibola-bench --bin halflatch_mitigation --
 //!          [--observations 6000]`
 
-use cibola::designs::PaperDesign;
-use cibola::inject::ErrorCause;
-use cibola::prelude::*;
+use cibola_bench::experiments::halflatch::{self, HalflatchParams};
 use cibola_bench::Args;
-
-/// Per-half-latch-site strike cross-section, as a fraction of the device
-/// total. Deliberately accelerated (the Crocker runs drove fluence until
-/// failures accumulated); only the unmitigated/mitigated *ratio* matters,
-/// and the per-site scaling makes it track the design's half-latch count,
-/// as the paper's flight designs ("hundreds to thousands") did.
-const SIGMA_PER_SITE: f64 = 1.0e-4;
-/// Configuration-FSM cross-section (rare; upsets "unprogram" the device).
-const SIGMA_FSM: f64 = 2.0e-5;
-
-fn mix_for(half_latch_sites: usize) -> TargetMix {
-    let hl = half_latch_sites as f64 * SIGMA_PER_SITE;
-    TargetMix {
-        config_bits: 1.0 - hl - SIGMA_FSM,
-        half_latches: hl,
-        user_ffs: 0.0,
-        config_fsm: SIGMA_FSM,
-    }
-}
-
-fn run_one(
-    name: &str,
-    nl: &cibola::netlist::Netlist,
-    geom: &Geometry,
-    observations: usize,
-    seed: u64,
-) -> (usize, usize, f64) {
-    let imp = implement(nl, geom).unwrap();
-    let mut dev = Device::new(geom.clone());
-    dev.configure_full(&imp.bitstream);
-    let sites = dev.network_stats().half_latch_sites;
-
-    let tb = Testbed::new(&imp, 0x1A7C4, 40_000);
-    let campaign = run_campaign(
-        &tb,
-        &CampaignConfig {
-            observe_cycles: 64,
-            classify_persistence: false,
-            ..Default::default()
-        },
-    );
-    let mut beam = ProtonBeam::new(
-        BeamConfig {
-            upsets_per_second: 2.0,
-            mix: mix_for(sites),
-            half_latch_recovery_mean_s: None,
-        },
-        seed,
-    );
-    let r = beam_validation(
-        &tb,
-        &mut beam,
-        &campaign.sensitive_set(),
-        &BeamRunConfig {
-            observations,
-            cycles_per_observation: 64,
-            ..Default::default()
-        },
-    );
-    let hard = r
-        .error_events
-        .iter()
-        .filter(|c| **c == ErrorCause::HiddenState)
-        .count()
-        + r.fsm_strikes;
-    let strikes = r.config_strikes + r.half_latch_strikes + r.user_ff_strikes + r.fsm_strikes;
-    println!(
-        "{:<28} {:>5} half-latches | {:>6} strikes | {:>5} scrub-repairable errors | {:>4} HARD failures",
-        name,
-        sites,
-        strikes,
-        r.error_count() - hard.min(r.error_count()),
-        hard,
-    );
-    (hard, strikes, hard as f64 / strikes.max(1) as f64)
-}
 
 fn main() {
     let args = Args::parse();
-    let geom = args.geometry("small");
-    let observations = args.usize("--observations", 12_000);
-
-    println!("# §III-C — Half-Latch Mitigation Under Beam (scrubbing active)");
-    let nl = PaperDesign::CounterAdder { width: 10 }.netlist();
-    let (mit, report) = remove_half_latches(&nl, ConstSource::LutRom, true);
-    println!(
-        "# RadDRC rewired {} control pins, tied {} LUT pins, added {} constant generators\n",
-        report.total_rewired(),
-        report.lut_pins_tied,
-        report.const_cells_added
-    );
-
-    let (hard_u, _, rate_u) = run_one("unmitigated", &nl, &geom, observations, 0xD00D);
-    let (hard_m, _, rate_m) = run_one("RadDRC-mitigated", &mit, &geom, observations, 0xD00D);
-
-    // Laplace-smoothed ratio: with zero mitigated hard failures the run
-    // gives a lower bound.
-    let _ = (rate_u, rate_m);
-    let smoothed = hard_u as f64 / (hard_m as f64).max(1.0);
-    println!(
-        "\n# hard-failure resistance improvement: {}{:.0}× (paper: ≈100×){}",
-        if hard_m == 0 { "≥" } else { "" },
-        smoothed,
-        if hard_m == 0 {
-            format!(" — mitigated design suffered 0 hard failures vs {hard_u}")
-        } else {
-            String::new()
-        }
-    );
+    let params = HalflatchParams {
+        geometry: args.geometry("small"),
+        observations: args.usize("--observations", 12_000),
+    };
+    print!("{}", halflatch::run(&params).report);
 }

@@ -5,52 +5,8 @@
 //!
 //! Usage: `cargo run --release -p cibola-bench --bin orbit_rates`
 
-use cibola::prelude::*;
-use cibola::radiation::OrbitCondition;
+use cibola_bench::experiments::orbit::{self, OrbitParams};
 
 fn main() {
-    // The paper's device numbers.
-    let sigma_device_cm2 = 8.0e-8 * 5.8e6; // per-bit σ × bits ⇒ device σ
-    let bits = 5_800_000usize;
-    let sigma_bit = 8.0e-8; // quoted as the average saturation cross-section
-    let devices = 9;
-
-    println!("# §I — LEO Upset Rates for the Nine-FPGA System");
-    println!("device: XQVR1000-class, {bits} configuration bits");
-    println!("per-bit saturation cross-section: {sigma_bit:.1e} cm²");
-    println!("device cross-section: {sigma_device_cm2:.3} cm²\n");
-
-    let rates = OrbitRates::default();
-    for (name, rate) in [
-        ("quiet LEO", rates.quiet_per_hour),
-        ("solar flare", rates.flare_per_hour),
-    ] {
-        let flux = OrbitRates::implied_flux(rate, sigma_bit, bits, devices);
-        let back = OrbitRates::from_physics(sigma_bit, bits, flux, devices);
-        println!(
-            "{name:<12}: {rate:>4.1} upsets/hour over {devices} devices  ⇔  effective flux {flux:.2e} particles/cm²/s (check: {back:.2} /h)"
-        );
-    }
-    println!(
-        "\nper-device mean time between upsets: quiet {:.1} h, flare {:.2} h",
-        1.0 / rates.per_device_per_hour(OrbitCondition::Quiet),
-        1.0 / rates.per_device_per_hour(OrbitCondition::SolarFlare)
-    );
-
-    // Sampled inter-arrival check from the Poisson process.
-    let mut env = OrbitEnvironment::new(rates, 9);
-    let n = 50_000;
-    let mean_quiet: f64 = (0..n)
-        .map(|_| env.next_upset_in().as_secs_f64())
-        .sum::<f64>()
-        / n as f64;
-    env.set_condition(OrbitCondition::SolarFlare);
-    let mean_flare: f64 = (0..n)
-        .map(|_| env.next_upset_in().as_secs_f64())
-        .sum::<f64>()
-        / n as f64;
-    println!(
-        "sampled mean inter-arrival: quiet {:.0} s (expect 3000), flare {:.0} s (expect 375)",
-        mean_quiet, mean_flare
-    );
+    print!("{}", orbit::run(&OrbitParams::paper()).report);
 }

@@ -6,71 +6,13 @@
 //!
 //! Usage: `cargo run --release -p cibola-bench --bin selective_tmr`
 
-use cibola::designs::PaperDesign;
-use cibola::inject::selective_protect_set;
-use cibola::prelude::*;
-use cibola_bench::{pct, Args};
+use cibola_bench::experiments::tmr::{self, TmrParams};
+use cibola_bench::Args;
 
 fn main() {
     let args = Args::parse();
-    let geom = args.geometry("small");
-    let nl = PaperDesign::CounterAdder { width: 6 }.netlist();
-    let imp = implement(&nl, &geom).unwrap();
-
-    // Characterise the unmitigated design.
-    let tb = Testbed::new(&imp, 0x5E1, 96);
-    let cfg = CampaignConfig {
-        observe_cycles: 48,
-        classify_persistence: false,
-        ..Default::default()
+    let params = TmrParams {
+        geometry: args.geometry("small"),
     };
-    let base = run_campaign(&tb, &cfg);
-
-    println!("# Selective TMR guided by the SEU simulator's correlation data");
-    println!("# design '{}' on {}", nl.name, geom.name);
-    println!(
-        "{:<22} | {:>7} | {:>8} | {:>11} | {:>13}",
-        "Variant", "Cells", "Slices", "Sensitivity", "Normalized"
-    );
-    println!("{}", "-".repeat(72));
-    println!(
-        "{:<22} | {:>7} | {:>8} | {:>11} | {:>13}",
-        "unmitigated",
-        nl.cells.len(),
-        imp.report.slices_used,
-        pct(base.sensitivity()),
-        pct(base.normalized_sensitivity()),
-    );
-
-    for fraction in [0.25, 0.5, 0.75, 1.0] {
-        let (variant, label) = if fraction >= 1.0 {
-            (tmr(&nl).0, "full TMR".to_string())
-        } else {
-            let protect = selective_protect_set(&base, &imp, &nl, fraction);
-            (
-                selective_tmr(&nl, &protect).0,
-                format!("selective TMR {:.0}%", fraction * 100.0),
-            )
-        };
-        let imp_v = match implement(&variant, &geom) {
-            Ok(i) => i,
-            Err(e) => {
-                eprintln!("{label}: skipped ({e})");
-                continue;
-            }
-        };
-        let tb_v = Testbed::new(&imp_v, 0x5E1, 96);
-        let r = run_campaign(&tb_v, &cfg);
-        println!(
-            "{:<22} | {:>7} | {:>8} | {:>11} | {:>13}",
-            label,
-            variant.cells.len(),
-            imp_v.report.slices_used,
-            pct(r.sensitivity()),
-            pct(r.normalized_sensitivity()),
-        );
-    }
-    println!("{}", "-".repeat(72));
-    println!("# normalized sensitivity = failures per occupied-slice fraction: the voter");
-    println!("# masking shows up as the drop from the unmitigated row.");
+    print!("{}", tmr::run(&params).report);
 }

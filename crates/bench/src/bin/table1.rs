@@ -9,84 +9,17 @@
 //! Usage: `cargo run --release -p cibola-bench --bin table1 --
 //!           [--scale 0.25] [--fraction 0.25] [--geometry small]`
 
-use cibola::designs::PaperDesign;
-use cibola::prelude::*;
-use cibola_bench::{pct, Args};
+use cibola_bench::experiments::table1::{self, Table1Params};
+use cibola_bench::Args;
 
 fn main() {
     let args = Args::parse();
-    let geom = args.geometry("small");
-    let scale = args.f64("--scale", 0.25);
-    let fraction = args.f64("--fraction", 0.25);
-    let cycles = args.usize("--cycles", 96);
-
-    println!("# Table I — SEU Simulator Results for Test Designs");
-    println!(
-        "# device {} ({} slices, {} config bits), design scale {scale}, closure sample {fraction}",
-        geom.name,
-        geom.num_slices(),
-        ConfigMemory::new(geom.clone()).total_bits()
-    );
-    println!(
-        "{:<12} | {:>16} | {:>9} | {:>11} | {:>22}",
-        "Design", "Logic Slices", "Failures", "Sensitivity", "Normalized Sensitivity"
-    );
-    println!("{}", "-".repeat(84));
-
-    let mut rows: Vec<(String, f64)> = Vec::new();
-    for d in PaperDesign::table1_ladder(scale) {
-        let nl = d.netlist();
-        let imp = match implement(&nl, &geom) {
-            Ok(i) => i,
-            Err(e) => {
-                eprintln!("{}: skipped ({e})", d.label());
-                continue;
-            }
-        };
-        let tb = Testbed::new(&imp, 0xC1B01A, cycles);
-        let r = run_campaign(
-            &tb,
-            &CampaignConfig {
-                observe_cycles: cycles.min(64),
-                classify_persistence: false,
-                selection: BitSelection::SampleClosure {
-                    fraction,
-                    seed: 0x7AB1E1,
-                },
-                ..Default::default()
-            },
-        );
-        println!(
-            "{:<12} | {:>6} ({:>5.1}%) | {:>9} | {:>11} | {:>22}",
-            d.label(),
-            imp.report.slices_used,
-            100.0 * imp.report.slice_fraction(),
-            r.failures(),
-            pct(r.sensitivity()),
-            pct(r.normalized_sensitivity()),
-        );
-        rows.push((d.label(), r.normalized_sensitivity()));
-    }
-
-    // Shape summary: family means.
-    let mean = |prefix: &str| {
-        let v: Vec<f64> = rows
-            .iter()
-            .filter(|(l, _)| l.starts_with(prefix))
-            .map(|&(_, n)| n)
-            .collect();
-        v.iter().sum::<f64>() / v.len().max(1) as f64
+    let params = Table1Params {
+        geometry: args.geometry("small"),
+        scale: args.f64("--scale", 0.25),
+        fraction: args.f64("--fraction", 0.25),
+        cycles: args.usize("--cycles", 96),
+        ladder: None,
     };
-    let (l, v, m) = (mean("LFSR"), mean("VMULT"), mean("MULT"));
-    println!("{}", "-".repeat(84));
-    println!(
-        "# family means of normalized sensitivity: LFSR {} | VMULT {} | MULT {}",
-        pct(l),
-        pct(v),
-        pct(m)
-    );
-    println!(
-        "# multiplier/LFSR normalized-sensitivity ratio: {:.1}× (paper: ≈3×)",
-        ((v + m) / 2.0) / l
-    );
+    print!("{}", table1::run(&params).report);
 }

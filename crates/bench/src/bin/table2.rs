@@ -6,60 +6,16 @@
 //! Usage: `cargo run --release -p cibola-bench --bin table2 --
 //!           [--scale 0.2] [--fraction 0.35] [--geometry small]`
 
-use cibola::designs::PaperDesign;
-use cibola::prelude::*;
-use cibola_bench::{pct, Args};
+use cibola_bench::experiments::table2::{self, Table2Params};
+use cibola_bench::Args;
 
 fn main() {
     let args = Args::parse();
-    let geom = args.geometry("small");
-    let scale = args.f64("--scale", 0.2);
-    let fraction = args.f64("--fraction", 0.35);
-
-    println!("# Table II — SEU Simulator Persistence Results");
-    println!(
-        "# device {} , design scale {scale}, closure sample {fraction}",
-        geom.name
-    );
-    println!(
-        "{:<18} | {:>16} | {:>11} | {:>17}",
-        "Design", "Logic Slices", "Sensitivity", "Persistence Ratio"
-    );
-    println!("{}", "-".repeat(72));
-
-    for d in PaperDesign::table2_set(scale) {
-        let nl = d.netlist();
-        let imp = match implement(&nl, &geom) {
-            Ok(i) => i,
-            Err(e) => {
-                eprintln!("{}: skipped ({e})", d.label());
-                continue;
-            }
-        };
-        let tb = Testbed::new(&imp, 0xC1B02B, 192);
-        let r = run_campaign(
-            &tb,
-            &CampaignConfig {
-                observe_cycles: 64,
-                persist_cycles: 96,
-                persist_tail: 24,
-                classify_persistence: true,
-                selection: BitSelection::SampleClosure {
-                    fraction,
-                    seed: 0x7AB1E2,
-                },
-                ..Default::default()
-            },
-        );
-        println!(
-            "{:<18} | {:>6} ({:>5.1}%) | {:>11} | {:>17}",
-            d.label(),
-            imp.report.slices_used,
-            100.0 * imp.report.slice_fraction(),
-            pct(r.sensitivity()),
-            pct(r.persistence_ratio()),
-        );
-    }
-    println!("{}", "-".repeat(72));
-    println!("# persistent bits per sensitive configuration bit (paper Table II footnote)");
+    let params = Table2Params {
+        geometry: args.geometry("small"),
+        scale: args.f64("--scale", 0.2),
+        fraction: args.f64("--fraction", 0.35),
+        set: None,
+    };
+    print!("{}", table2::run(&params).report);
 }

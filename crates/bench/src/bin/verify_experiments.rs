@@ -1,0 +1,490 @@
+//! The experiment oracle: regenerates every EXPERIMENTS.md entry
+//! (E1–E11, A1–A3) at a chosen tier and machine-checks its shape claims.
+//!
+//! Each prose claim in EXPERIMENTS.md ("normalized sensitivity ≈ constant
+//! within a family", "exactly 20 reconfigurations and 40 readbacks",
+//! "183.7 ms scan cycle") is evaluated programmatically with a stable
+//! claim ID; the per-claim verdicts are printed as a table and written to
+//! `results/verify_summary.json`. Any failing claim makes the process
+//! exit non-zero — this is the repro gate CI runs on every PR.
+//!
+//! Usage: `cargo run --release -p cibola-bench --bin verify_experiments --
+//!          [--tier smoke|paper] [--out results/verify_summary.json]
+//!          [--only E4] [--print-reports]`
+//!
+//! * `--tier smoke` (default): CI-sized scales — tiny geometries, short
+//!   missions, sampled closures. Runs in well under a minute in release.
+//! * `--tier paper`: the exact `run_experiments.sh` scales behind the
+//!   checked-in `results/*.txt` (minutes of runtime).
+//! * `--only Ex[,Ey…]`: evaluate a subset of experiments (claim counts
+//!   below the CI floor are expected then).
+//! * `--print-reports`: dump each experiment's rendered text report as it
+//!   completes (what the table/figure binary would print).
+
+use std::time::Instant;
+
+use cibola_bench::claims::ClaimSet;
+use cibola_bench::experiments::{
+    bist, fig12, fig4, fig7, fig8, halflatch, orbit, rmw, scanrate, table1, table2, tmr, virtex2,
+    Tier,
+};
+use cibola_bench::Args;
+
+/// Tier-dependent tolerance bands. Smoke scales are smaller and noisier,
+/// so several bands widen; the *shape* under test is the same.
+struct Bands {
+    family_spread_lfsr: f64,
+    family_spread_vmult: f64,
+    family_spread_mult: f64,
+    ratio_lo: f64,
+    ratio_hi: f64,
+    feedback_persistence_min: f64,
+    availability_min: f64,
+    agreement_min: f64,
+    raddrc_min: f64,
+    mitigated_hard_max: u64,
+    poisson_tol: f64,
+}
+
+impl Bands {
+    fn for_tier(tier: Tier) -> Self {
+        match tier {
+            // Calibrated against results/*.txt (paper scales): spreads
+            // 0.3–6.2 points, ratio 2.4×, LFSR persistence 84.7 %,
+            // availability 0.97+, agreement 98.2 %, RadDRC ≥44×.
+            Tier::Paper => Bands {
+                family_spread_lfsr: 3.0,
+                family_spread_vmult: 4.0,
+                family_spread_mult: 8.0,
+                ratio_lo: 1.8,
+                ratio_hi: 4.5,
+                feedback_persistence_min: 0.5,
+                availability_min: 0.9,
+                agreement_min: 0.93,
+                // Deterministic at seed 0xD00D / 12k observations: 56
+                // unmitigated vs 2 residual (FSM-channel) hard failures,
+                // a Laplace-smoothed 19× improvement.
+                raddrc_min: 10.0,
+                mitigated_hard_max: 3,
+                poisson_tol: 0.02,
+            },
+            // Tiny-device ladders have fewer rungs and sparser closures.
+            Tier::Smoke => Bands {
+                family_spread_lfsr: 8.0,
+                family_spread_vmult: 8.0,
+                family_spread_mult: 10.0,
+                ratio_lo: 1.5,
+                ratio_hi: 6.0,
+                feedback_persistence_min: 0.4,
+                availability_min: 0.85,
+                agreement_min: 0.88,
+                raddrc_min: 3.0,
+                mitigated_hard_max: 0,
+                poisson_tol: 0.02,
+            },
+        }
+    }
+}
+
+fn wanted(only: &Option<Vec<String>>, exp: &str) -> bool {
+    match only {
+        None => true,
+        Some(list) => list.iter().any(|e| e.eq_ignore_ascii_case(exp)),
+    }
+}
+
+fn main() {
+    let args = Args::parse();
+    let tier = Tier::parse(args.get("--tier").unwrap_or("smoke")).unwrap_or_else(|| {
+        eprintln!("unknown tier (expected smoke|paper)");
+        std::process::exit(2);
+    });
+    let out_path = args
+        .get("--out")
+        .unwrap_or("results/verify_summary.json")
+        .to_string();
+    let only: Option<Vec<String>> = args
+        .get("--only")
+        .map(|s| s.split(',').map(|e| e.trim().to_string()).collect());
+    let print_reports = args.flag("--print-reports");
+    let bands = Bands::for_tier(tier);
+
+    let started = Instant::now();
+    let mut set = ClaimSet::new();
+    let report_sink = |name: &str, report: &str| {
+        eprintln!(
+            "[verify] {name} done ({:.1}s)",
+            started.elapsed().as_secs_f64()
+        );
+        if print_reports {
+            println!("----- {name} -----\n{report}");
+        }
+    };
+
+    if wanted(&only, "E1") {
+        let r = table1::run(&table1::Table1Params::for_tier(tier));
+        report_sink("E1 table1", &r.report);
+        for (family, max_spread) in [
+            ("LFSR", bands.family_spread_lfsr),
+            ("VMULT", bands.family_spread_vmult),
+            ("MULT", bands.family_spread_mult),
+        ] {
+            set.holds(
+                match family {
+                    "LFSR" => "E1-FAMILY-ROWS-LFSR",
+                    "VMULT" => "E1-FAMILY-ROWS-VMULT",
+                    _ => "E1-FAMILY-ROWS-MULT",
+                },
+                "E1",
+                &format!("{family} family has ≥2 rungs on the device"),
+                r.family_rows(family) >= 2,
+            );
+            set.at_most(
+                match family {
+                    "LFSR" => "E1-FAMILY-SPREAD-LFSR",
+                    "VMULT" => "E1-FAMILY-SPREAD-VMULT",
+                    _ => "E1-FAMILY-SPREAD-MULT",
+                },
+                "E1",
+                &format!("{family} within-family normalized-sensitivity spread (points)"),
+                r.family_spread_points(family),
+                max_spread,
+            );
+        }
+        set.band(
+            "E1-MULT-LFSR-RATIO",
+            "E1",
+            "multiplier/LFSR normalized-sensitivity ratio (paper ≈3×)",
+            r.mult_lfsr_ratio(),
+            bands.ratio_lo,
+            bands.ratio_hi,
+        );
+        set.holds(
+            "E1-FAMILY-ORDER",
+            "E1",
+            "multiplier families above the LFSR family",
+            r.family_mean("VMULT") > r.family_mean("LFSR")
+                && r.family_mean("MULT") > r.family_mean("LFSR"),
+        );
+    }
+
+    if wanted(&only, "E2") {
+        let r = table2::run(&table2::Table2Params::for_tier(tier));
+        report_sink("E2 table2", &r.report);
+        let (ff, ctr, lfsr) = (
+            r.persistence_of("Multiply-Add"),
+            r.persistence_of("Counter/Adder"),
+            r.persistence_of("LFSR 1x"),
+        );
+        set.holds(
+            "E2-ORDER",
+            "E2",
+            "persistence: feed-forward < counter < LFSR",
+            ff < ctr && ctr < lfsr,
+        );
+        set.at_most(
+            "E2-FEEDFORWARD",
+            "E2",
+            "feed-forward multiply-add persistence ratio (paper ≈0)",
+            ff,
+            0.05,
+        );
+        set.at_least(
+            "E2-FEEDBACK",
+            "E2",
+            "feedback-dominated LFSR persistence ratio (paper ≈94 %)",
+            lfsr,
+            bands.feedback_persistence_min,
+        );
+    }
+
+    if wanted(&only, "E3") {
+        let r = fig7::run(&fig7::Fig7Params::for_tier(tier));
+        report_sink("E3 fig7", &r.report);
+        set.exact(
+            "E3-CLEAN-BEFORE",
+            "E3",
+            "no output errors before the upset cycle",
+            r.errors_before_upset as u64,
+            0,
+        );
+        set.at_least(
+            "E3-PERSIST-REPAIR",
+            "E3",
+            "errors continue after scrub repair (persistence)",
+            r.errors_after_repair as f64,
+            1.0,
+        );
+        set.exact(
+            "E3-RESET",
+            "E3",
+            "reset re-synchronises the design (paper: \"must be reset\")",
+            r.errors_after_reset as u64,
+            0,
+        );
+    }
+
+    if wanted(&only, "E4") {
+        let r = fig4::run(&fig4::Fig4Params::for_tier(tier));
+        report_sink("E4 fig4", &r.report);
+        set.band(
+            "E4-SCAN-CYCLE",
+            "E4",
+            "scan cycle for 3 × XQVR1000, ms (paper ≈180)",
+            r.flight_scan_ms,
+            170.0,
+            195.0,
+        );
+        set.at_most(
+            "E4-LATENCY",
+            "E4",
+            "max detection latency / scan cycle (bounded by the cadence)",
+            r.stats.detect_latency_max_ms / r.stats.scan_cycle_ms,
+            1.5,
+        );
+        set.at_least(
+            "E4-AVAILABILITY",
+            "E4",
+            "mission availability under scrubbing",
+            r.stats.availability,
+            bands.availability_min,
+        );
+        set.at_least(
+            "E4-SOH",
+            "E4",
+            "every upset lands in the state-of-health log",
+            r.stats.soh_records as f64,
+            r.stats.upsets_total as f64,
+        );
+    }
+
+    if wanted(&only, "E5") {
+        let r = fig8::run();
+        report_sink("E5 fig8", &r.report);
+        set.exact(
+            "E5-PER-BIT",
+            "E5",
+            "per-bit injection loop, µs (paper: 214)",
+            r.per_bit_us.round() as u64,
+            214,
+        );
+        set.band(
+            "E5-EXHAUSTIVE-20MIN",
+            "E5",
+            "exhaustive 5.8 Mbit sweep, minutes (paper ≈20)",
+            r.exhaustive_min,
+            19.0,
+            22.0,
+        );
+    }
+
+    if wanted(&only, "E6") {
+        let r = fig12::run(&fig12::Fig12Params::for_tier(tier));
+        report_sink("E6 fig12", &r.report);
+        set.at_least(
+            "E6-AGREEMENT",
+            "E6",
+            "aggregate simulator-vs-beam agreement (paper 97.6 %)",
+            r.aggregate_agreement(),
+            bands.agreement_min,
+        );
+        set.exact(
+            "E6-HIDDEN-ONLY",
+            "E6",
+            "every missed error is attributed to hidden state",
+            r.unattributed_errors() as u64,
+            0,
+        );
+    }
+
+    if wanted(&only, "E7") {
+        let r = halflatch::run(&halflatch::HalflatchParams::for_tier(tier));
+        report_sink("E7 halflatch", &r.report);
+        set.at_most(
+            "E7-MITIGATED-CLEAN",
+            "E7",
+            "RadDRC-mitigated design has (near-)zero hard failures",
+            r.mitigated_hard as f64,
+            bands.mitigated_hard_max as f64,
+        );
+        set.at_least(
+            "E7-RADDRC",
+            "E7",
+            "hard-failure resistance improvement (paper ≈100×, ours ≥44×)",
+            r.improvement(),
+            bands.raddrc_min,
+        );
+    }
+
+    if wanted(&only, "E8") {
+        let r = bist::run(&bist::BistParams::for_tier(tier));
+        report_sink("E8 bist", &r.report);
+        set.exact(
+            "E8-OPCOUNT-RECONFIG",
+            "E8",
+            "wire test partial reconfigurations per row (paper: 20)",
+            r.reconfig_rounds as u64,
+            20,
+        );
+        set.exact(
+            "E8-OPCOUNT-READBACK",
+            "E8",
+            "wire test readbacks per row (paper: 40)",
+            r.readback_passes as u64,
+            40,
+        );
+        set.holds(
+            "E8-ISOLATION",
+            "E8",
+            "stuck fault isolated to the break column",
+            r.isolation_ok,
+        );
+        set.at_least(
+            "E8-COVERAGE",
+            "E8",
+            "full-suite stuck-at coverage",
+            r.coverage(),
+            0.7,
+        );
+    }
+
+    if wanted(&only, "E9") {
+        let r = orbit::run(&orbit::OrbitParams::for_tier(tier));
+        report_sink("E9 orbit", &r.report);
+        set.at_most(
+            "E9-ROUNDTRIP",
+            "E9",
+            "rate → flux → rate inversion relative error",
+            r.roundtrip_rel_err,
+            1e-9,
+        );
+        set.band(
+            "E9-POISSON-QUIET",
+            "E9",
+            "sampled quiet inter-arrival mean, s (expect 3000)",
+            r.mean_quiet_s,
+            3000.0 * (1.0 - bands.poisson_tol),
+            3000.0 * (1.0 + bands.poisson_tol),
+        );
+        set.band(
+            "E9-POISSON-FLARE",
+            "E9",
+            "sampled flare inter-arrival mean, s (expect 375)",
+            r.mean_flare_s,
+            375.0 * (1.0 - bands.poisson_tol),
+            375.0 * (1.0 + bands.poisson_tol),
+        );
+    }
+
+    if wanted(&only, "A1") {
+        let r = tmr::run(&tmr::TmrParams::for_tier(tier));
+        report_sink("A1 tmr", &r.report);
+        set.holds(
+            "A1-MONOTONIC",
+            "A1",
+            "normalized sensitivity falls as the protected fraction grows",
+            r.rows.len() >= 4 && r.monotonic_decreasing(0.02),
+        );
+        set.at_most(
+            "A1-FULL-TMR",
+            "A1",
+            "full-TMR normalized sensitivity vs unmitigated",
+            r.full_tmr_reduction(),
+            0.5,
+        );
+    }
+
+    if wanted(&only, "A2") {
+        let r = scanrate::run(&scanrate::ScanrateParams::for_tier(tier));
+        report_sink("A2 scanrate", &r.report);
+        set.holds(
+            "A2-LATENCY-TRACKS",
+            "A2",
+            "detection latency tracks the scan cycle at every step",
+            r.latency_tracks_cycle(),
+        );
+        set.holds(
+            "A2-AVAILABILITY-DROP",
+            "A2",
+            "availability degrades at the slowest cadence",
+            r.availability_drop() > 0.0,
+        );
+    }
+
+    if wanted(&only, "A3") {
+        let r = rmw::run();
+        report_sink("A3 rmw", &r.report);
+        set.holds(
+            "A3-RMW-STATIC",
+            "A3",
+            "RMW repair restores the corrupted static bit",
+            r.static_fixed,
+        );
+        set.holds(
+            "A3-RMW-LIVE",
+            "A3",
+            "RMW repair preserves live LUT-RAM contents",
+            r.live_preserved,
+        );
+        set.holds(
+            "A3-NAIVE-WIPES",
+            "A3",
+            "naive golden restore wipes live data (the §IV-B hazard)",
+            r.naive_wiped,
+        );
+    }
+
+    if wanted(&only, "E11") {
+        let r = virtex2::run(&virtex2::Virtex2Params::for_tier(tier));
+        report_sink("E11 virtex2", &r.report);
+        let one = r.row(1);
+        set.exact(
+            "E11-VIRTEX-MASK",
+            "E11",
+            "one SRL16 masks 16 frames of its column on Virtex",
+            one.map(|x| x.virtex_masked as u64).unwrap_or(0),
+            16,
+        );
+        set.band(
+            "E11-V2-MASK",
+            "E11",
+            "same design masks 2–3 frames under the Virtex-II layout",
+            one.map(|x| x.virtex2_masked as f64).unwrap_or(f64::NAN),
+            2.0,
+            3.0,
+        );
+        set.holds(
+            "E11-GAIN",
+            "E11",
+            "Virtex-II masks fewer frames at every SRL count",
+            !r.rows.is_empty() && r.rows.iter().all(|x| x.virtex2_masked < x.virtex_masked),
+        );
+    }
+
+    let host_seconds = started.elapsed().as_secs_f64();
+    print!("{}", set.render());
+    println!(
+        "# tier {} | {:.1}s | summary → {}",
+        tier.name(),
+        host_seconds,
+        out_path
+    );
+
+    if let Some(dir) = std::path::Path::new(&out_path).parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    std::fs::write(&out_path, set.to_json(tier.name(), host_seconds))
+        .unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
+
+    // The CI floor: a full run must exercise a meaningful claim surface.
+    if only.is_none() && set.claims.len() < 12 {
+        eprintln!(
+            "FATAL: only {} claims evaluated (floor is 12)",
+            set.claims.len()
+        );
+        std::process::exit(1);
+    }
+    if !set.all_pass() {
+        std::process::exit(1);
+    }
+}

@@ -7,72 +7,13 @@
 //!
 //! Usage: `cargo run --release -p cibola-bench --bin virtex2_masking`
 
-use cibola::prelude::*;
-use cibola::scrub::masked_frames_for;
+use cibola_bench::experiments::virtex2::{self, Virtex2Params};
 use cibola_bench::Args;
-
-fn srl_design(srls: usize) -> Netlist {
-    let mut b = NetlistBuilder::new(&format!("srl-{srls}"));
-    let x = b.input();
-    let one = b.const_net(true);
-    let mut n = x;
-    let mut outs = Vec::new();
-    for _ in 0..srls {
-        for _ in 0..12 {
-            n = b.ff(n, false);
-        }
-        let tap = b.srl16(&[one, one], n, cibola::netlist::Ctrl::One, 0);
-        outs.push(tap);
-        n = tap;
-    }
-    b.outputs(&outs);
-    b.finish()
-}
-
-fn masked_stats(nl: &Netlist, geom: &Geometry) -> (usize, usize, f64) {
-    let imp = implement(nl, geom).unwrap();
-    let masked = masked_frames_for(&imp.bitstream);
-    let total = imp.bitstream.frame_count();
-    let masked_bits: usize = masked
-        .iter()
-        .map(|&fi| imp.bitstream.frame_bits(imp.bitstream.frame_addr(fi).block))
-        .sum();
-    (
-        masked.len(),
-        total,
-        masked_bits as f64 / imp.bitstream.total_bits() as f64,
-    )
-}
 
 fn main() {
     let args = Args::parse();
-    let base = args.geometry("tiny");
-
-    println!("# §IV-A — Frame layout vs scrubber coverage for LUT-RAM/SRL16 designs");
-    println!(
-        "{:<10} | {:>22} | {:>22} | {:>9}",
-        "SRL16s", "Virtex masked frames", "Virtex-II masked frames", "gain"
-    );
-    println!("{}", "-".repeat(76));
-    for srls in [1usize, 2, 4, 8] {
-        let nl = srl_design(srls);
-        let v1 = base.clone();
-        let v2 = base.clone().with_virtex2_layout();
-        let (m1, total, f1) = masked_stats(&nl, &v1);
-        let (m2, _, f2) = masked_stats(&nl, &v2);
-        println!(
-            "{:<10} | {:>12} ({:>5.2}%) | {:>12} ({:>5.2}%) | {:>8.1}×",
-            srls,
-            format!("{m1}/{total}"),
-            100.0 * f1,
-            format!("{m2}/{total}"),
-            100.0 * f2,
-            m1 as f64 / m2.max(1) as f64,
-        );
-    }
-    println!("{}", "-".repeat(76));
-    println!("# Virtex scatters each LUT's 16 table bits across 16 of the column's 48");
-    println!("# frames (the paper's \"16 out of the 48 configuration data frames… not be");
-    println!("# read back\"); the Virtex-II layout concentrates all 64 table bits into the");
-    println!("# first ~3 frames — \"for Virtex-II, the situation is better\" (paper §IV-A).");
+    let params = Virtex2Params {
+        geometry: args.geometry("tiny"),
+    };
+    print!("{}", virtex2::run(&params).report);
 }

@@ -1,0 +1,148 @@
+//! E8 — §II-B (Fig. 5): BIST for permanent faults. Exact wire-test
+//! operation counts, stuck-at isolation, and suite coverage.
+
+use std::fmt::Write as _;
+
+use cibola::bist::{coverage_campaign, BistSuite, WireTest};
+use cibola::prelude::*;
+
+use super::Tier;
+
+#[derive(Debug, Clone)]
+pub struct BistParams {
+    pub geometry: Geometry,
+    pub faults: usize,
+}
+
+impl BistParams {
+    /// The `run_experiments.sh` configuration behind
+    /// `results/bist_coverage.txt`.
+    pub fn paper() -> Self {
+        BistParams {
+            geometry: Geometry::tiny(),
+            faults: 24,
+        }
+    }
+
+    /// The campaign is already CI-sized; smoke == paper, so the golden
+    /// snapshot doubles as a `results/bist_coverage.txt` regression.
+    pub fn smoke() -> Self {
+        BistParams::paper()
+    }
+
+    pub fn for_tier(tier: Tier) -> Self {
+        match tier {
+            Tier::Smoke => BistParams::smoke(),
+            Tier::Paper => BistParams::paper(),
+        }
+    }
+}
+
+#[derive(Debug)]
+pub struct BistResult {
+    /// Partial-reconfiguration rounds of one wire-test sweep (paper: 20).
+    pub reconfig_rounds: usize,
+    /// Readback passes of one wire-test sweep (paper: 40).
+    pub readback_passes: usize,
+    /// The injected demo fault was detected and localised to the break.
+    pub isolation_ok: bool,
+    pub injected: usize,
+    pub detected: usize,
+    pub report: String,
+}
+
+impl BistResult {
+    pub fn coverage(&self) -> f64 {
+        self.detected as f64 / self.injected.max(1) as f64
+    }
+}
+
+pub fn run(p: &BistParams) -> BistResult {
+    let geom = &p.geometry;
+    let mut report = String::new();
+    let _ = writeln!(report, "# §II-B — BIST for Permanent Faults");
+
+    // Operation counts of one wire-test sweep (paper Fig. 5).
+    let wt = WireTest::new(geom, 0);
+    let mut clean = Device::new(geom.clone());
+    let sweep = wt.run(&mut clean);
+    let _ = writeln!(
+        report,
+        "wire test, one row: {} reconfiguration rounds (paper: 20), {} readbacks (paper: 40), {} frames rewritten, {} simulated",
+        sweep.reconfig_rounds, sweep.readback_passes, sweep.frames_rewritten, sweep.duration
+    );
+    assert!(sweep.faults.is_empty());
+
+    // Isolation demo.
+    let break_col = geom.cols / 2;
+    let mut faulty = Device::new(geom.clone());
+    faulty.inject_stuck_fault(
+        FaultSite::Wire {
+            tile: Tile::new(0, break_col),
+            wire: (cibola::arch::Dir::East as usize * 24 + 9) as u8,
+        },
+        false,
+    );
+    let isolation = wt.run(&mut faulty);
+    for f in &isolation.faults {
+        let _ = writeln!(
+            report,
+            "isolation: stuck fault detected on wire {} — break localised between columns {} and {}",
+            f.wire,
+            f.first_bad_col - 1,
+            f.first_bad_col
+        );
+    }
+    // The break at `break_col` is observed one hop downstream, so the
+    // localisation brackets the break: first bad column is the break
+    // column or its successor depending on wire direction.
+    let isolation_ok = isolation
+        .faults
+        .iter()
+        .any(|f| f.first_bad_col == break_col || f.first_bad_col == break_col + 1);
+
+    // Coverage campaign over the full suite.
+    let _ = writeln!(
+        report,
+        "\n# coverage campaign: {} random stuck-at faults, full suite (wire test on every row + both CLB variants)",
+        p.faults
+    );
+    let suite = BistSuite::full(geom);
+    let cov = coverage_campaign(geom, &suite, p.faults, 0xB157_C0DE);
+    let by_wire = cov
+        .outcomes
+        .iter()
+        .filter(|o| o.caught_by == Some("wire"))
+        .count();
+    let by_clb = cov
+        .outcomes
+        .iter()
+        .filter(|o| o.caught_by == Some("clb"))
+        .count();
+    let _ = writeln!(
+        report,
+        "coverage: {:.0}% ({}/{}) — {} by the wire test, {} by the CLB test",
+        100.0 * cov.coverage(),
+        cov.detected,
+        cov.injected,
+        by_wire,
+        by_clb
+    );
+    let _ = writeln!(
+        report,
+        "diagnostic configurations used: {} ({} simulated on-orbit time)",
+        cov.configurations_used, cov.duration
+    );
+    for o in cov.outcomes.iter().filter(|o| !o.detected) {
+        let _ = writeln!(report, "  missed: {:?} stuck-at-{}", o.site, o.stuck as u8);
+    }
+
+    BistResult {
+        reconfig_rounds: sweep.reconfig_rounds,
+        readback_passes: sweep.readback_passes,
+        isolation_ok,
+        injected: cov.injected,
+        detected: cov.detected,
+        report,
+    }
+}

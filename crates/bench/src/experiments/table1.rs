@@ -1,0 +1,231 @@
+//! E1 — **Table I**: SEU simulator results for the test-design ladder
+//! (LFSR / VMULT / MULT), sensitivity and normalized sensitivity.
+
+use std::fmt::Write as _;
+
+use cibola::designs::PaperDesign;
+use cibola::prelude::*;
+
+use super::Tier;
+use crate::pct;
+
+#[derive(Debug, Clone)]
+pub struct Table1Params {
+    pub geometry: Geometry,
+    pub scale: f64,
+    pub fraction: f64,
+    pub cycles: usize,
+    /// The design ladder. `None` uses [`PaperDesign::table1_ladder`] at
+    /// `scale`; the smoke tier substitutes an explicit small ladder that
+    /// fits the tiny device with two sizes per family.
+    pub ladder: Option<Vec<PaperDesign>>,
+}
+
+impl Table1Params {
+    /// The `run_experiments.sh` configuration behind `results/table1.txt`.
+    pub fn paper() -> Self {
+        Table1Params {
+            geometry: Geometry::small(),
+            scale: 0.25,
+            fraction: 0.2,
+            cycles: 96,
+            ladder: None,
+        }
+    }
+
+    /// CI-sized: two rungs per family on the tiny device. The shape
+    /// claims (within-family constancy, multiplier ≈ LFSR × k) are about
+    /// families, not absolute sizes, so a two-rung ladder still measures
+    /// them.
+    pub fn smoke() -> Self {
+        Table1Params {
+            geometry: Geometry::tiny(),
+            scale: 0.25,
+            fraction: 0.25,
+            cycles: 64,
+            ladder: Some(vec![
+                PaperDesign::LfsrScaled {
+                    clusters: 1,
+                    bits: 10,
+                },
+                PaperDesign::LfsrScaled {
+                    clusters: 2,
+                    bits: 10,
+                },
+                PaperDesign::Vmult { width: 2 },
+                PaperDesign::Vmult { width: 4 },
+                PaperDesign::Mult { width: 3 },
+                PaperDesign::Mult { width: 4 },
+            ]),
+        }
+    }
+
+    pub fn for_tier(tier: Tier) -> Self {
+        match tier {
+            Tier::Smoke => Table1Params::smoke(),
+            Tier::Paper => Table1Params::paper(),
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+pub struct Table1Row {
+    pub label: String,
+    pub slices: usize,
+    pub slice_fraction: f64,
+    pub failures: usize,
+    pub sensitivity: f64,
+    pub normalized: f64,
+}
+
+#[derive(Debug)]
+pub struct Table1Result {
+    pub rows: Vec<Table1Row>,
+    pub skipped: Vec<String>,
+    pub report: String,
+}
+
+impl Table1Result {
+    /// Mean normalized sensitivity over rows whose label starts with
+    /// `prefix` (a family name — note `MULT` would also match `VMULT`,
+    /// so family membership tests the label's first token).
+    pub fn family_mean(&self, family: &str) -> f64 {
+        let v: Vec<f64> = self
+            .rows
+            .iter()
+            .filter(|r| r.label.split_whitespace().next() == Some(family))
+            .map(|r| r.normalized)
+            .collect();
+        v.iter().sum::<f64>() / v.len().max(1) as f64
+    }
+
+    /// Max − min normalized sensitivity within a family, in percentage
+    /// points (EXPERIMENTS.md: "within-family spread").
+    pub fn family_spread_points(&self, family: &str) -> f64 {
+        let v: Vec<f64> = self
+            .rows
+            .iter()
+            .filter(|r| r.label.split_whitespace().next() == Some(family))
+            .map(|r| r.normalized)
+            .collect();
+        if v.len() < 2 {
+            return f64::NAN;
+        }
+        let max = v.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let min = v.iter().cloned().fold(f64::INFINITY, f64::min);
+        100.0 * (max - min)
+    }
+
+    pub fn family_rows(&self, family: &str) -> usize {
+        self.rows
+            .iter()
+            .filter(|r| r.label.split_whitespace().next() == Some(family))
+            .count()
+    }
+
+    /// Multiplier-families / LFSR normalized-sensitivity ratio (the
+    /// paper's ≈3×).
+    pub fn mult_lfsr_ratio(&self) -> f64 {
+        let (l, v, m) = (
+            self.family_mean("LFSR"),
+            self.family_mean("VMULT"),
+            self.family_mean("MULT"),
+        );
+        ((v + m) / 2.0) / l
+    }
+}
+
+pub fn run(p: &Table1Params) -> Table1Result {
+    let mut report = String::new();
+    let _ = writeln!(report, "# Table I — SEU Simulator Results for Test Designs");
+    let _ = writeln!(
+        report,
+        "# device {} ({} slices, {} config bits), design scale {}, closure sample {}",
+        p.geometry.name,
+        p.geometry.num_slices(),
+        ConfigMemory::new(p.geometry.clone()).total_bits(),
+        p.scale,
+        p.fraction
+    );
+    let _ = writeln!(
+        report,
+        "{:<12} | {:>16} | {:>9} | {:>11} | {:>22}",
+        "Design", "Logic Slices", "Failures", "Sensitivity", "Normalized Sensitivity"
+    );
+    let _ = writeln!(report, "{}", "-".repeat(84));
+
+    let ladder = p
+        .ladder
+        .clone()
+        .unwrap_or_else(|| PaperDesign::table1_ladder(p.scale));
+    let mut rows = Vec::new();
+    let mut skipped = Vec::new();
+    for d in ladder {
+        let nl = d.netlist();
+        let imp = match implement(&nl, &p.geometry) {
+            Ok(i) => i,
+            Err(e) => {
+                let _ = writeln!(report, "{}: skipped ({e})", d.label());
+                skipped.push(d.label());
+                continue;
+            }
+        };
+        let tb = Testbed::new(&imp, 0xC1B01A, p.cycles);
+        let r = run_campaign_wide(
+            &tb,
+            &CampaignConfig {
+                observe_cycles: p.cycles.min(64),
+                classify_persistence: false,
+                selection: BitSelection::SampleClosure {
+                    fraction: p.fraction,
+                    seed: 0x7AB1E1,
+                },
+                ..Default::default()
+            },
+        );
+        let _ = writeln!(
+            report,
+            "{:<12} | {:>6} ({:>5.1}%) | {:>9} | {:>11} | {:>22}",
+            d.label(),
+            imp.report.slices_used,
+            100.0 * imp.report.slice_fraction(),
+            r.failures(),
+            pct(r.sensitivity()),
+            pct(r.normalized_sensitivity()),
+        );
+        rows.push(Table1Row {
+            label: d.label(),
+            slices: imp.report.slices_used,
+            slice_fraction: imp.report.slice_fraction(),
+            failures: r.failures(),
+            sensitivity: r.sensitivity(),
+            normalized: r.normalized_sensitivity(),
+        });
+    }
+
+    let result = Table1Result {
+        rows,
+        skipped,
+        report: String::new(),
+    };
+    let (l, v, m) = (
+        result.family_mean("LFSR"),
+        result.family_mean("VMULT"),
+        result.family_mean("MULT"),
+    );
+    let _ = writeln!(report, "{}", "-".repeat(84));
+    let _ = writeln!(
+        report,
+        "# family means of normalized sensitivity: LFSR {} | VMULT {} | MULT {}",
+        pct(l),
+        pct(v),
+        pct(m)
+    );
+    let _ = writeln!(
+        report,
+        "# multiplier/LFSR normalized-sensitivity ratio: {:.1}× (paper: ≈3×)",
+        ((v + m) / 2.0) / l
+    );
+
+    Table1Result { report, ..result }
+}

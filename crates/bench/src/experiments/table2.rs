@@ -1,0 +1,171 @@
+//! E2 — **Table II**: sensitivity and persistence ratio per design class.
+
+use std::fmt::Write as _;
+
+use cibola::designs::PaperDesign;
+use cibola::prelude::*;
+
+use super::Tier;
+use crate::pct;
+
+#[derive(Debug, Clone)]
+pub struct Table2Params {
+    pub geometry: Geometry,
+    pub scale: f64,
+    pub fraction: f64,
+    /// `None` uses [`PaperDesign::table2_set`] at `scale`.
+    pub set: Option<Vec<PaperDesign>>,
+}
+
+impl Table2Params {
+    /// The `run_experiments.sh` configuration behind `results/table2.txt`.
+    pub fn paper() -> Self {
+        Table2Params {
+            geometry: Geometry::small(),
+            scale: 0.2,
+            fraction: 0.3,
+            set: None,
+        }
+    }
+
+    /// CI-sized: the same five design classes at tiny-device scale. The
+    /// persistence ordering is a property of dataflow structure, not of
+    /// size, so the scaled-down set still measures it.
+    pub fn smoke() -> Self {
+        Table2Params {
+            geometry: Geometry::tiny(),
+            scale: 0.2,
+            fraction: 0.35,
+            set: Some(vec![
+                PaperDesign::MultAdd { width: 8 },
+                PaperDesign::CounterAdder { width: 5 },
+                PaperDesign::LfsrScaled {
+                    clusters: 1,
+                    bits: 12,
+                },
+                PaperDesign::LfsrMultiplier { width: 3 },
+                PaperDesign::FilterPreproc {
+                    taps: 3,
+                    sample_bits: 4,
+                },
+            ]),
+        }
+    }
+
+    pub fn for_tier(tier: Tier) -> Self {
+        match tier {
+            Tier::Smoke => Table2Params::smoke(),
+            Tier::Paper => Table2Params::paper(),
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+pub struct Table2Row {
+    pub label: String,
+    pub slices: usize,
+    pub sensitivity: f64,
+    pub persistence: f64,
+}
+
+#[derive(Debug)]
+pub struct Table2Result {
+    pub rows: Vec<Table2Row>,
+    pub skipped: Vec<String>,
+    pub report: String,
+}
+
+impl Table2Result {
+    /// Persistence ratio of the row whose label starts with `prefix`
+    /// (design classes appear once each in Table II).
+    pub fn persistence_of(&self, prefix: &str) -> f64 {
+        self.rows
+            .iter()
+            .find(|r| {
+                r.label.starts_with(prefix)
+                    || r.label
+                        .split_whitespace()
+                        .skip(1)
+                        .collect::<Vec<_>>()
+                        .join(" ")
+                        .starts_with(prefix)
+            })
+            .map(|r| r.persistence)
+            .unwrap_or(f64::NAN)
+    }
+}
+
+pub fn run(p: &Table2Params) -> Table2Result {
+    let mut report = String::new();
+    let _ = writeln!(report, "# Table II — SEU Simulator Persistence Results");
+    let _ = writeln!(
+        report,
+        "# device {} , design scale {}, closure sample {}",
+        p.geometry.name, p.scale, p.fraction
+    );
+    let _ = writeln!(
+        report,
+        "{:<18} | {:>16} | {:>11} | {:>17}",
+        "Design", "Logic Slices", "Sensitivity", "Persistence Ratio"
+    );
+    let _ = writeln!(report, "{}", "-".repeat(72));
+
+    let set = p
+        .set
+        .clone()
+        .unwrap_or_else(|| PaperDesign::table2_set(p.scale));
+    let mut rows = Vec::new();
+    let mut skipped = Vec::new();
+    for d in set {
+        let nl = d.netlist();
+        let imp = match implement(&nl, &p.geometry) {
+            Ok(i) => i,
+            Err(e) => {
+                let _ = writeln!(report, "{}: skipped ({e})", d.label());
+                skipped.push(d.label());
+                continue;
+            }
+        };
+        let tb = Testbed::new(&imp, 0xC1B02B, 192);
+        let r = run_campaign_wide(
+            &tb,
+            &CampaignConfig {
+                observe_cycles: 64,
+                persist_cycles: 96,
+                persist_tail: 24,
+                classify_persistence: true,
+                selection: BitSelection::SampleClosure {
+                    fraction: p.fraction,
+                    seed: 0x7AB1E2,
+                },
+                ..Default::default()
+            },
+        );
+        let _ = writeln!(
+            report,
+            "{:<18} | {:>6} ({:>5.1}%) | {:>11} | {:>17}",
+            d.label(),
+            imp.report.slices_used,
+            100.0 * imp.report.slice_fraction(),
+            pct(r.sensitivity()),
+            pct(r.persistence_ratio()),
+        );
+        rows.push(Table2Row {
+            label: d.label(),
+            slices: imp.report.slices_used,
+            sensitivity: r.sensitivity(),
+            persistence: r.persistence_ratio(),
+        });
+    }
+    let _ = writeln!(report, "{}", "-".repeat(72));
+    let _ = writeln!(
+        report,
+        "# persistent bits per sensitive configuration bit (paper Table II footnote)"
+    );
+
+    Table2Result {
+        rows,
+        skipped,
+        report,
+    }
+}

@@ -180,6 +180,30 @@ impl CampaignResult {
     pub fn sensitive_set(&self) -> std::collections::HashSet<usize> {
         self.sensitive.iter().map(|s| s.bit).collect()
     }
+
+    /// Everything an experimenter can observe from a campaign, as a
+    /// comparable key: the classification of every sensitive bit plus the
+    /// bookkeeping the sensitivity arithmetic reads. Two engines whose
+    /// keys are equal are indistinguishable — the contract the
+    /// scalar/wide differential tests and the conformance corpus assert.
+    #[allow(clippy::type_complexity)]
+    pub fn equivalence_key(&self) -> (Vec<(usize, u32, u128, bool)>, [usize; 5], bool, u64) {
+        (
+            self.sensitive
+                .iter()
+                .map(|s| (s.bit, s.first_error_cycle, s.output_mask, s.persistent))
+                .collect(),
+            [
+                self.injections,
+                self.inert_bits,
+                self.closure_size,
+                self.total_bits,
+                self.sensitive.len(),
+            ],
+            self.exhaustive,
+            self.sim_time.as_nanos(),
+        )
+    }
 }
 
 /// Run one single-bit experiment on a fresh DUT; `Some` iff the bit is

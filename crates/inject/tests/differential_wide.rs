@@ -52,21 +52,14 @@ fn design(pick: usize, w: usize, init: u16) -> Netlist {
     }
 }
 
-/// Compare everything an experimenter can observe from the two results.
+/// Compare everything an experimenter can observe from the two results —
+/// the same key the cross-engine conformance corpus replays.
 fn assert_equivalent(scalar: &CampaignResult, wide: &CampaignResult) {
-    let key = |r: &CampaignResult| {
-        r.sensitive
-            .iter()
-            .map(|s| (s.bit, s.first_error_cycle, s.output_mask, s.persistent))
-            .collect::<Vec<_>>()
-    };
-    assert_eq!(key(scalar), key(wide), "sensitive sets diverged");
-    assert_eq!(scalar.injections, wide.injections);
-    assert_eq!(scalar.inert_bits, wide.inert_bits);
-    assert_eq!(scalar.closure_size, wide.closure_size);
-    assert_eq!(scalar.total_bits, wide.total_bits);
-    assert_eq!(scalar.exhaustive, wide.exhaustive);
-    assert_eq!(scalar.sim_time, wide.sim_time, "sim-time model diverged");
+    assert_eq!(
+        scalar.equivalence_key(),
+        wide.equivalence_key(),
+        "scalar and wide campaigns diverged"
+    );
 }
 
 proptest! {
@@ -236,11 +229,5 @@ fn wide_parallel_agnostic() {
     let a = run_campaign_wide(&tb, &cfg);
     cfg.parallel = false;
     let b = run_campaign_wide(&tb, &cfg);
-    let key = |r: &CampaignResult| {
-        r.sensitive
-            .iter()
-            .map(|s| (s.bit, s.first_error_cycle, s.output_mask, s.persistent))
-            .collect::<Vec<_>>()
-    };
-    assert_eq!(key(&a), key(&b));
+    assert_eq!(a.equivalence_key(), b.equivalence_key());
 }

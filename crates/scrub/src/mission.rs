@@ -138,6 +138,68 @@ pub struct MissionStats {
     pub soh_downlink_passes: usize,
 }
 
+impl MissionStats {
+    /// Every field as a named scalar, in declaration order. Floats are
+    /// passed through unrounded so the list is a faithful projection of
+    /// the struct — the conformance corpus digests it, and report writers
+    /// can serialise it without keeping a second field list in sync.
+    pub fn summary_fields(&self) -> Vec<(&'static str, f64)> {
+        vec![
+            ("upsets_total", self.upsets_total as f64),
+            ("upsets_config", self.upsets_config as f64),
+            ("upsets_config_masked", self.upsets_config_masked as f64),
+            ("upsets_half_latch", self.upsets_half_latch as f64),
+            ("upsets_user_ff", self.upsets_user_ff as f64),
+            ("upsets_fsm", self.upsets_fsm as f64),
+            ("detected", self.detected as f64),
+            ("frames_repaired", self.frames_repaired as f64),
+            ("full_reconfigs", self.full_reconfigs as f64),
+            ("sensitive_upsets", self.sensitive_upsets as f64),
+            ("detect_latency_mean_ms", self.detect_latency_mean_ms),
+            ("detect_latency_max_ms", self.detect_latency_max_ms),
+            ("scrub_cycles", self.scrub_cycles as f64),
+            ("scan_cycle_ms", self.scan_cycle_ms),
+            ("unavailable_ms", self.unavailable_ms),
+            ("availability", self.availability),
+            (
+                "outstanding_half_latches",
+                self.outstanding_half_latches as f64,
+            ),
+            ("soh_records", self.soh_records as f64),
+            ("elapsed_s", self.elapsed_s),
+            ("sefis_injected", self.sefis_injected as f64),
+            ("sefi_readback_corrupt", self.sefi_readback_corrupt as f64),
+            ("sefi_readback_abort", self.sefi_readback_abort as f64),
+            ("sefi_write_silent", self.sefi_write_silent as f64),
+            ("sefi_port_wedge", self.sefi_port_wedge as f64),
+            ("sefi_unprogram", self.sefi_unprogram as f64),
+            ("codebook_upsets", self.codebook_upsets as f64),
+            ("ladder_sefis_observed", self.ladder.sefis_observed as f64),
+            ("ladder_repair_retries", self.ladder.repair_retries as f64),
+            ("ladder_verify_failures", self.ladder.verify_failures as f64),
+            (
+                "ladder_codebook_rebuilds",
+                self.ladder.codebook_rebuilds as f64,
+            ),
+            ("ladder_port_resets", self.ladder.port_resets as f64),
+            (
+                "ladder_frames_escalated",
+                self.ladder.frames_escalated as f64,
+            ),
+            (
+                "ladder_golden_uncorrectable",
+                self.ladder.golden_uncorrectable as f64,
+            ),
+            (
+                "ladder_devices_degraded",
+                self.ladder.devices_degraded as f64,
+            ),
+            ("soh_shed_events", self.soh_shed_events as f64),
+            ("soh_downlink_passes", self.soh_downlink_passes as f64),
+        ]
+    }
+}
+
 /// An outstanding fault on one device.
 #[derive(Debug, Clone, Copy)]
 struct Outstanding {

@@ -356,6 +356,96 @@ fn rmw_repair_preserves_live_shift_data_while_fixing_static_bits() {
     assert!(wiped.iter().all(|&v| !v), "naive repair clobbers live data");
 }
 
+#[test]
+fn rmw_repair_with_simultaneous_static_and_live_corruption_in_one_frame() {
+    // Worst case for §IV-B: a single frame takes *both* a static-bit upset
+    // and a live LUT-RAM upset. The RMW repair must restore the static bit
+    // from golden, and must leave the live bit at its *current* device
+    // value — even a corrupted one — because run-time state is opaque to
+    // the scrubber (a flipped shift-register bit is indistinguishable from
+    // legitimate data; only the design's own reset path can clean it).
+    use cibola_scrub::dynamic_bits_for;
+
+    let geom = Geometry::tiny();
+    let mut b = cibola_netlist::NetlistBuilder::new("srl-rmw-both");
+    let x = b.input();
+    let one = b.const_net(true);
+    let tap = b.srl16(&[one, one], x, cibola_netlist::Ctrl::One, 0);
+    b.output(tap);
+    let nl = b.finish();
+    let imp = implemented(&nl, &geom);
+    let mask = dynamic_bits_for(&imp.bitstream);
+
+    let mut dev = cibola_arch::Device::new(geom);
+    dev.configure_full(&imp.bitstream);
+    // Shift in ones so every live offset in the frame carries a 1 — a
+    // known pre-corruption value we can reason about exactly.
+    for _ in 0..20 {
+        dev.step(&[true]);
+    }
+
+    let fi = (0..imp.bitstream.frame_count())
+        .find(|&f| !mask.live_offsets(f).is_empty())
+        .unwrap();
+    let addr = imp.bitstream.frame_addr(fi);
+    let base = imp.bitstream.frame_base(addr);
+    let live: std::collections::HashSet<usize> = mask.live_offsets(fi).iter().copied().collect();
+    let frame_bits = imp.bitstream.frame_bits(addr.block);
+
+    // Upset one static and one live bit of the same frame.
+    let static_off = (0..frame_bits).find(|o| !live.contains(o)).unwrap();
+    let live_off = *mask
+        .live_offsets(fi)
+        .iter()
+        .find(|&&o| dev.config().get_bit(base + o))
+        .expect("a live offset holding a shifted-in 1");
+    dev.flip_config_bit(base + static_off);
+    dev.flip_config_bit(base + live_off);
+    assert!(
+        !dev.config().get_bit(base + live_off),
+        "live bit corrupted to 0"
+    );
+
+    dev.set_clock_running(false);
+    let masked = cibola_scrub::masked_frames_for(&imp.bitstream);
+    let mgr = FaultManager::new(cibola_scrub::CrcCodebook::new(&imp.bitstream, &masked));
+    let golden = imp.bitstream.read_frame(addr);
+    mgr.repair_rmw(&mut dev, fi, addr, &golden, &mask);
+
+    // The static upset is gone…
+    assert_eq!(
+        dev.config().get_bit(base + static_off),
+        imp.bitstream.get_bit(base + static_off),
+        "static bit restored from golden"
+    );
+    // …every *other* live bit kept its run-time value…
+    for &o in mask.live_offsets(fi).iter().filter(|&&o| o != live_off) {
+        assert!(
+            dev.config().get_bit(base + o),
+            "untouched live bit at offset {o} survived the repair"
+        );
+    }
+    // …and the corrupted live bit stays at its corrupted current value:
+    // RMW writes back what the device holds, never the golden image, for
+    // dynamic offsets.
+    assert!(
+        !dev.config().get_bit(base + live_off),
+        "corrupted live bit must pass through RMW unchanged (not golden-restored)"
+    );
+
+    // Resuming the clock shifts fresh ones through the SRL, flushing the
+    // corrupted word — the design-level recovery path the paper assigns to
+    // user state.
+    dev.set_clock_running(true);
+    for _ in 0..20 {
+        dev.step(&[true]);
+    }
+    assert!(
+        dev.config().get_bit(base + live_off),
+        "live corruption flushes out through normal shifting after repair"
+    );
+}
+
 // ---------------------------------------------------------------------------
 // Fault-tolerant scrub pipeline: SEFIs, codebook corruption, escalation.
 // ---------------------------------------------------------------------------

@@ -156,6 +156,69 @@ mod tests {
     }
 
     #[test]
+    fn zero_byte_budget_sheds_every_event_with_full_accounting() {
+        // A pass with no SOH allocation at all must still bin and count
+        // every event — silence here would hide the loss from operators.
+        let policy = SohDownlinkPolicy::new(0, 1_000, 16);
+        assert_eq!(policy.events_per_pass(), 0);
+        let events = vec![
+            (10, Severity::Critical),
+            (20, Severity::Warning),
+            (1_500, Severity::Info),
+        ];
+        let plan = plan_downlink(&events, &policy);
+        assert_eq!(plan.sent_events, 0);
+        assert_eq!(plan.sent_bytes, 0);
+        assert_eq!(plan.shed_events, events.len() as u64);
+        assert_eq!(plan.shed_by_severity, [0, 1, 1, 1]);
+        assert_eq!(plan.passes.len(), 2);
+        for pass in &plan.passes {
+            assert!(pass.sent.is_empty());
+            assert_eq!(pass.bytes_used, 0);
+        }
+    }
+
+    #[test]
+    fn budget_smaller_than_one_event_sends_nothing() {
+        // A non-zero budget that cannot fit a single record behaves like a
+        // zero budget: no partial events on the wire.
+        let policy = SohDownlinkPolicy::new(15, 1_000, 16);
+        assert_eq!(policy.events_per_pass(), 0);
+        let events = vec![(0, Severity::Critical), (1, Severity::Debug)];
+        let plan = plan_downlink(&events, &policy);
+        assert_eq!(plan.sent_events, 0);
+        assert_eq!(plan.sent_bytes, 0);
+        assert_eq!(plan.shed_events, 2);
+        assert_eq!(plan.passes[0].shed, vec![0, 1]);
+    }
+
+    #[test]
+    fn shed_accounting_reconciles_when_every_event_drops() {
+        // sent + shed must partition the input exactly, and the
+        // per-severity shed counters must sum to the shed total, even in
+        // the degenerate all-dropped case across many passes.
+        let policy = SohDownlinkPolicy::new(0, 500, 16);
+        let events: Vec<_> = (0..97u64)
+            .map(|i| (i * 211 % 10_000, Severity::ALL[(i % 4) as usize]))
+            .collect();
+        let plan = plan_downlink(&events, &policy);
+        assert_eq!(plan.sent_events, 0);
+        assert_eq!(plan.shed_events, events.len() as u64);
+        assert_eq!(
+            plan.shed_by_severity.iter().sum::<u64>(),
+            plan.shed_events,
+            "per-severity shed counters must reconcile with the total"
+        );
+        let mut seen: Vec<usize> = plan
+            .passes
+            .iter()
+            .flat_map(|p| p.sent.iter().chain(&p.shed).copied())
+            .collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..events.len()).collect::<Vec<_>>());
+    }
+
+    #[test]
     fn plan_is_deterministic() {
         let events: Vec<_> = (0..100)
             .map(|i| (i * 37 % 5_000, Severity::ALL[(i % 4) as usize]))
