@@ -260,6 +260,18 @@ impl Device {
         self.read_faults.len() + self.write_faults.len()
     }
 
+    /// Injected readback faults not yet consumed. Write-only mitigation
+    /// strategies (blind scrubbing) never perform readback, so these can
+    /// sit latched forever without affecting their behaviour.
+    pub fn pending_read_faults(&self) -> usize {
+        self.read_faults.len()
+    }
+
+    /// Injected configuration-write faults not yet consumed.
+    pub fn pending_write_faults(&self) -> usize {
+        self.write_faults.len()
+    }
+
     /// Tallies of port faults observed by the `try_*` operations and
     /// [`Device::port_reset`] since power-on (or since the last
     /// [`Device::clear_port_fault_stats`]).

@@ -1,0 +1,145 @@
+//! Adaptive-controller overhead note: what does running the adaptive
+//! scrub-rate controller *cost* on a quiet mission, over and above the
+//! fixed-period ladder it wraps? Written to `BENCH_strategy.json` so the
+//! "<5% controller overhead" note in the E12 writeup stays a recorded
+//! measurement rather than folklore.
+//!
+//! Methodology: both flights use the round-ticking reference driver so
+//! every scan round is visited either way, and the adaptive run pins the
+//! clamp (`k_floor == k_ceiling == 1`) so the controller can never
+//! retune — the scrub schedule is bit-identical to the fixed ladder's
+//! (asserted), and the only difference is the controller itself: window
+//! bookkeeping, the EWMA update, and the per-window gauge. The host-time
+//! delta between the two runs is therefore pure controller overhead.
+//!
+//! A third flight lets the clamp open (ceiling 16) to record what the
+//! controller is *for*: the simulated scrub-bandwidth saving it buys on
+//! the same quiet mission.
+//!
+//! Usage: `cargo run --release -p cibola-bench --bin bench_strategy
+//!         [--out BENCH_strategy.json] [--mins 30]`
+//! (env `BENCH_STRATEGY_MINS` overrides the default — CI can smoke-run
+//! with a clamped mission.)
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use cibola::mitigate::{
+    run_strategy_mission_reference, AdaptiveConfig, AdaptiveScrub, LadderStrategy,
+};
+use cibola::prelude::*;
+use cibola_bench::{env_usize, Args};
+use cibola_netlist::gen;
+
+fn main() {
+    let args = Args::parse();
+    let out_path = args
+        .get("--out")
+        .unwrap_or("BENCH_strategy.json")
+        .to_string();
+    let mins = args.usize("--mins", env_usize("BENCH_STRATEGY_MINS", 30));
+
+    let geom = Geometry::tiny();
+    let imp = implement(&gen::counter_adder(4), &geom).expect("tiny payload design fits");
+    let sensitivity = HashMap::new();
+    let quiet = MissionConfig {
+        duration: SimDuration::from_secs(mins as u64 * 60),
+        seed: 42,
+        ..Default::default()
+    };
+
+    // Fixed-period ladder, reference driver: every round ticked.
+    let mut payload = cibola_bench::nine_fpga_payload(&geom, &imp, "ctr");
+    let start = Instant::now();
+    let fixed =
+        run_strategy_mission_reference(&mut payload, &quiet, &sensitivity, &mut { LadderStrategy });
+    let fixed_secs = start.elapsed().as_secs_f64();
+
+    // Adaptive with the clamp pinned at k = 1: same scrub schedule, plus
+    // the controller. The host-time delta is the controller's overhead.
+    let mut payload = cibola_bench::nine_fpga_payload(&geom, &imp, "ctr");
+    let mut pinned = AdaptiveScrub::new(
+        LadderStrategy,
+        AdaptiveConfig {
+            k_floor: 1,
+            k_ceiling: 1,
+            ..Default::default()
+        },
+    );
+    let start = Instant::now();
+    let pinned_stats =
+        run_strategy_mission_reference(&mut payload, &quiet, &sensitivity, &mut pinned);
+    let pinned_secs = start.elapsed().as_secs_f64();
+
+    assert_eq!(
+        pinned_stats.mission, fixed.mission,
+        "pinned adaptive controller changed the mission — overhead measurement is invalid"
+    );
+    let overhead_pct = (pinned_secs - fixed_secs) / fixed_secs.max(1e-9) * 100.0;
+
+    // Clamp open: the bandwidth saving the controller buys when allowed
+    // to coast on a quiet mission.
+    let k_ceiling = 16u64;
+    let mut payload = cibola_bench::nine_fpga_payload(&geom, &imp, "ctr");
+    let mut free = AdaptiveScrub::new(
+        LadderStrategy,
+        AdaptiveConfig {
+            k_ceiling,
+            ..Default::default()
+        },
+    );
+    let free_stats = run_strategy_mission_reference(&mut payload, &quiet, &sensitivity, &mut free);
+
+    println!(
+        "quiet {mins} min: fixed {fixed_secs:.3} s | pinned-adaptive {pinned_secs:.3} s \
+         | controller overhead {overhead_pct:+.2}%"
+    );
+    println!(
+        "clamp open (ceiling {k_ceiling}): scrub busy {:.1} ms vs fixed {:.1} ms \
+         (final period {}x, {} retunes)",
+        free_stats.scrub_busy_ns as f64 / 1e6,
+        fixed.scrub_busy_ns as f64 / 1e6,
+        free_stats.strategy.final_scrub_every,
+        free_stats.strategy.retunes,
+    );
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"bench\": \"adaptive_controller_overhead\",");
+    let _ = writeln!(
+        json,
+        "  \"note\": \"pinned-clamp adaptive vs fixed ladder, reference driver; \
+         delta is pure controller cost\","
+    );
+    let _ = writeln!(json, "  \"quiet_mission_mins\": {mins},");
+    let _ = writeln!(json, "  \"fixed_host_seconds\": {fixed_secs:.4},");
+    let _ = writeln!(
+        json,
+        "  \"pinned_adaptive_host_seconds\": {pinned_secs:.4},"
+    );
+    let _ = writeln!(json, "  \"controller_overhead_pct\": {overhead_pct:.2},");
+    let _ = writeln!(json, "  \"overhead_budget_pct\": 5.0,");
+    let _ = writeln!(json, "  \"free_run\": {{");
+    let _ = writeln!(json, "    \"k_ceiling\": {k_ceiling},");
+    let _ = writeln!(
+        json,
+        "    \"final_scrub_every\": {},",
+        free_stats.strategy.final_scrub_every
+    );
+    let _ = writeln!(json, "    \"retunes\": {},", free_stats.strategy.retunes);
+    let _ = writeln!(
+        json,
+        "    \"scrub_busy_ms\": {:.1},",
+        free_stats.scrub_busy_ns as f64 / 1e6
+    );
+    let _ = writeln!(
+        json,
+        "    \"fixed_scrub_busy_ms\": {:.1}",
+        fixed.scrub_busy_ns as f64 / 1e6
+    );
+    let _ = writeln!(json, "  }}");
+    let _ = writeln!(json, "}}");
+    std::fs::write(&out_path, json).expect("write BENCH_strategy.json");
+    println!("wrote {out_path}");
+}

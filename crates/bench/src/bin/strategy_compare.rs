@@ -1,0 +1,27 @@
+//! Experiment E12 — the mitigation-strategy zoo compared on one chaos
+//! mission (readback ladder, voted redundancy, intermodular, blind,
+//! adaptive) plus a quiet mission contrasting the adaptive controller's
+//! scrub-bandwidth spend against the fixed-rate ladder.
+//!
+//! Usage: `cargo run --release -p cibola-bench --bin strategy_compare --
+//!          [--chaos-s 1800] [--quiet-s 7200] [--seed 42] [--smoke]`
+
+use cibola_bench::experiments::strategies::{self, StrategiesParams};
+use cibola_bench::experiments::Tier;
+use cibola_bench::Args;
+
+fn main() {
+    let args = Args::parse();
+    let base = if args.flag("--smoke") {
+        StrategiesParams::for_tier(Tier::Smoke)
+    } else {
+        StrategiesParams::for_tier(Tier::Paper)
+    };
+    let params = StrategiesParams {
+        chaos_s: args.usize("--chaos-s", base.chaos_s as usize) as u64,
+        quiet_s: args.usize("--quiet-s", base.quiet_s as usize) as u64,
+        seed: args.usize("--seed", base.seed as usize) as u64,
+        ..base
+    };
+    print!("{}", strategies::run(&params).report);
+}

@@ -1,9 +1,12 @@
 //! Lint a telemetry JSONL dump: every line must parse as a JSON object
-//! carrying at least `t_ns` and `name`, and event timestamps must never
-//! exceed a `--max-t-ns` horizon when one is given. CI runs this over the
-//! dump `orbit_mission --telemetry` produces, so a schema regression in
-//! any instrumented crate fails the build rather than silently shipping
-//! an unreadable flight record.
+//! carrying at least `t_ns` and `name`, event timestamps must never
+//! exceed a `--max-t-ns` horizon when one is given, and any event whose
+//! name appears in the known-schema table
+//! (`cibola_telemetry::known_event_required_fields` — the strategy and
+//! adaptive-controller vocabulary) must carry every required field key.
+//! CI runs this over the dump `orbit_mission --telemetry` produces, so a
+//! schema regression in any instrumented crate fails the build rather
+//! than silently shipping an unreadable flight record.
 //!
 //! Usage: `telemetry_lint <dump.jsonl> [--max-t-ns N]`
 //!
@@ -12,7 +15,14 @@
 
 use std::process::ExitCode;
 
-use cibola_telemetry::validate_telemetry_line;
+use cibola_telemetry::{known_event_required_fields, validate_telemetry_line};
+
+/// Extract the value of the `name` key (the writer emits fixed key order
+/// and plain event names, so a quoted-substring probe is exact).
+fn event_name(line: &str) -> Option<&str> {
+    let rest = line.split("\"name\":\"").nth(1)?;
+    rest.split('"').next()
+}
 
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
@@ -53,6 +63,18 @@ fn main() -> ExitCode {
         if let Err(e) = validate_telemetry_line(line) {
             eprintln!("{path}:{}: {} (at byte {})", lineno + 1, e.message, e.at);
             return ExitCode::FAILURE;
+        }
+        if let Some(required) = event_name(line).and_then(known_event_required_fields) {
+            for field in required {
+                if !line.contains(&format!("\"{field}\":")) {
+                    eprintln!(
+                        "{path}:{}: event {:?} is missing required field {field:?}",
+                        lineno + 1,
+                        event_name(line).unwrap_or("?"),
+                    );
+                    return ExitCode::FAILURE;
+                }
+            }
         }
         if let Some(horizon) = max_t_ns {
             // Cheap field probe: the writer puts `t_ns` first, so the

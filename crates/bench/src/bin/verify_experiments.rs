@@ -1,5 +1,5 @@
 //! The experiment oracle: regenerates every EXPERIMENTS.md entry
-//! (E1–E11, A1–A3) at a chosen tier and machine-checks its shape claims.
+//! (E1–E12, A1–A3) at a chosen tier and machine-checks its shape claims.
 //!
 //! Each prose claim in EXPERIMENTS.md ("normalized sensitivity ≈ constant
 //! within a family", "exactly 20 reconfigurations and 40 readbacks",
@@ -25,8 +25,8 @@ use std::time::Instant;
 
 use cibola_bench::claims::ClaimSet;
 use cibola_bench::experiments::{
-    bist, fig12, fig4, fig7, fig8, halflatch, orbit, rmw, scanrate, table1, table2, tmr, virtex2,
-    Tier,
+    bist, fig12, fig4, fig7, fig8, halflatch, orbit, rmw, scanrate, strategies, table1, table2,
+    tmr, virtex2, Tier,
 };
 use cibola_bench::Args;
 
@@ -431,6 +431,65 @@ fn main() {
             "A3",
             "naive golden restore wipes live data (the §IV-B hazard)",
             r.naive_wiped,
+        );
+    }
+
+    if wanted(&only, "E12") {
+        let r = strategies::run(&strategies::StrategiesParams::for_tier(tier));
+        report_sink("E12 strategies", &r.report);
+        set.exact(
+            "E12-STRATEGY-COUNT",
+            "E12",
+            "every strategy in the zoo completed the chaos mission",
+            r.rows.len() as u64,
+            5,
+        );
+        set.holds(
+            "E12-LADDER-MATCHES-BASELINE",
+            "E12",
+            "ladder strategy is bit-identical to plain run_mission",
+            r.row("ladder").stats.mission == r.baseline,
+        );
+        set.holds(
+            "E12-AVAILABILITY-FLOOR",
+            "E12",
+            "every strategy keeps availability above 0.5 under chaos",
+            r.rows.iter().all(|x| x.stats.mission.availability > 0.5),
+        );
+        set.holds(
+            "E12-VOTED-FLASH-RELIEF",
+            "E12",
+            "majority voting repairs without FLASH wear (fewer golden reads than the ladder)",
+            r.row("voted").stats.strategy.voted_repairs > 0
+                && r.row("voted").flash_words_read <= r.row("ladder").flash_words_read,
+        );
+        set.holds(
+            "E12-INTERMOD-QUEUE-DELAY",
+            "E12",
+            "shared-controller rotation shows up as queueing delay and worse MTTR",
+            r.row("intermodular").stats.strategy.queue_wait_rounds > 0
+                && r.row("intermodular").stats.mission.detect_latency_mean_ms
+                    >= r.row("ladder").stats.mission.detect_latency_mean_ms,
+        );
+        set.holds(
+            "E12-BLIND-WEAR",
+            "E12",
+            "blind scrubbing pays orders of magnitude more write wear",
+            r.row("blind").stats.strategy.blind_writes
+                > 100 * r.row("ladder").stats.mission.frames_repaired as u64,
+        );
+        set.holds(
+            "E12-ADAPTIVE-QUIET-CEILING",
+            "E12",
+            "adaptive controller coasts a quiet mission at the period ceiling",
+            r.quiet_adaptive.strategy.final_scrub_every == r.quiet_ceiling
+                && r.quiet_adaptive.strategy.retunes > 0,
+        );
+        set.holds(
+            "E12-ADAPTIVE-SCRUB-SAVINGS",
+            "E12",
+            "adaptive controller spends less scrub bandwidth than fixed-rate on quiet",
+            r.quiet_adaptive.scrub_busy_ns < r.quiet_fixed.scrub_busy_ns,
         );
     }
 

@@ -101,6 +101,11 @@ pub enum CaseParams {
         regime: usize,
         rep: usize,
     },
+    Strategy {
+        strategy: usize,
+        config: usize,
+        rep: usize,
+    },
 }
 
 #[derive(Debug, Clone)]
@@ -187,6 +192,12 @@ const MISSION_REGIMES: [&str; 6] = [
 ];
 const MISSION_REPS: usize = 9;
 
+/// The strategy-zoo axis: every strategy runs the event-driven vs
+/// reference strategy drivers over two configurations. Index order is
+/// part of the corpus contract — append, never reorder.
+const STRATEGY_CONFIGS: [&str; 2] = ["chaos", "storm"];
+const STRATEGY_REPS: usize = 2;
+
 /// The full corpus, in manifest order.
 pub fn all_cases() -> Vec<CorpusCase> {
     let mut cases = Vec::new();
@@ -221,11 +232,39 @@ pub fn all_cases() -> Vec<CorpusCase> {
             });
         }
     }
+    for (si, sname) in cibola_mitigate::STRATEGY_NAMES.iter().enumerate() {
+        for (ci, cname) in STRATEGY_CONFIGS.iter().enumerate() {
+            for rep in 0..STRATEGY_REPS {
+                cases.push(CorpusCase {
+                    id: format!("strat-{sname}-{cname}-r{rep}"),
+                    spec: format!(
+                        "strategy={sname} config={cname} rep={rep} seed={}",
+                        strategy_seed(si, ci, rep)
+                    ),
+                    params: CaseParams::Strategy {
+                        strategy: si,
+                        config: ci,
+                        rep,
+                    },
+                });
+            }
+        }
+    }
     cases
 }
 
 fn campaign_seed(design: usize, variant: usize, rep: usize) -> u64 {
     splitmix64(0xC0_4F0A_u64 ^ ((design as u64) << 16) ^ ((variant as u64) << 8) ^ rep as u64)
+}
+
+fn strategy_seed(strategy: usize, config: usize, rep: usize) -> u64 {
+    match rep {
+        0 => 1,
+        1 => 42,
+        _ => splitmix64(
+            0x57_2A7E_u64 ^ ((strategy as u64) << 16) ^ ((config as u64) << 8) ^ rep as u64,
+        ),
+    }
 }
 
 fn mission_seed(regime: usize, rep: usize) -> u64 {
@@ -251,6 +290,11 @@ pub fn run_case(case: &CorpusCase) -> CaseOutcome {
             rep,
         } => run_campaign_case(design, variant, rep),
         CaseParams::Mission { regime, rep } => run_mission_case(regime, rep),
+        CaseParams::Strategy {
+            strategy,
+            config,
+            rep,
+        } => run_strategy_case(strategy, config, rep),
     }
 }
 
@@ -517,6 +561,82 @@ fn run_mission_case(regime: usize, rep: usize) -> CaseOutcome {
     let mut h = Digest::new();
     for (name, value) in event.summary_fields() {
         h.bytes(name.as_bytes()).f64(value);
+    }
+    h.u64(p_event.soh.len() as u64);
+
+    CaseOutcome {
+        digest: h.finish(),
+        engines_agree,
+        detail,
+    }
+}
+
+/// The strategy-case configurations: the SEFI-chaos regime and the plain
+/// flare storm, mirroring mission regimes 2 and 1.
+fn strategy_config(config: usize, seed: u64) -> MissionConfig {
+    let storm = OrbitRates {
+        quiet_per_hour: 400.0,
+        flare_per_hour: 3200.0,
+        devices: 9,
+    };
+    match config {
+        0 => MissionConfig {
+            duration: SimDuration::from_secs(450),
+            rates: storm,
+            flare: Some((SimTime::from_secs(120), SimTime::from_secs(240))),
+            periodic_full_reconfig: Some(SimDuration::from_secs(200)),
+            sefi: Some(sefi_config()),
+            seed,
+            ..Default::default()
+        },
+        1 => MissionConfig {
+            duration: SimDuration::from_secs(400),
+            rates: storm,
+            flare: Some((SimTime::from_secs(100), SimTime::from_secs(250))),
+            seed,
+            ..Default::default()
+        },
+        _ => unreachable!(),
+    }
+}
+
+/// Event-driven vs reference strategy drivers, digested on the combined
+/// `StrategyMissionStats::summary_fields` plus the SOH history length.
+fn run_strategy_case(strategy: usize, config: usize, rep: usize) -> CaseOutcome {
+    use cibola::mitigate::{
+        make_strategy, run_strategy_mission, run_strategy_mission_reference, STRATEGY_NAMES,
+    };
+
+    let name = STRATEGY_NAMES[strategy];
+    let seed = strategy_seed(strategy, config, rep);
+    let cfg = strategy_config(config, seed);
+    let geom = Geometry::tiny();
+    let sens = sparse_sensitivity();
+
+    let mut p_event = corpus_payload(&geom);
+    let mut p_ref = corpus_payload(&geom);
+    let mut s_event = make_strategy(name);
+    let mut s_ref = make_strategy(name);
+
+    let event = run_strategy_mission(&mut p_event, &cfg, &sens, s_event.as_mut());
+    let reference = run_strategy_mission_reference(&mut p_ref, &cfg, &sens, s_ref.as_mut());
+
+    let engines_agree = event == reference && p_event.soh.len() == p_ref.soh.len();
+    let detail = if engines_agree {
+        String::new()
+    } else if event != reference {
+        format!("StrategyMissionStats diverged:\n event: {event:?}\n ref:   {reference:?}")
+    } else {
+        format!(
+            "SOH history diverged: {} vs {} records",
+            p_event.soh.len(),
+            p_ref.soh.len()
+        )
+    };
+
+    let mut h = Digest::new();
+    for (fname, value) in event.summary_fields() {
+        h.bytes(fname.as_bytes()).f64(value);
     }
     h.u64(p_event.soh.len() as u64);
 

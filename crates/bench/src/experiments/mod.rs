@@ -24,6 +24,7 @@ pub mod halflatch;
 pub mod orbit;
 pub mod rmw;
 pub mod scanrate;
+pub mod strategies;
 pub mod table1;
 pub mod table2;
 pub mod tmr;

@@ -1,0 +1,250 @@
+//! E12 — the mitigation-strategy zoo compared under one chaos mission:
+//! readback ladder, voted configuration redundancy, intermodular
+//! (shared-controller) scrubbing, blind scrubbing, and the adaptive
+//! auto-tuning scrubber, all driven through the same `MissionKernel`
+//! accounting over the same upset/SEFI stream, plus a quiet mission
+//! contrasting the adaptive controller against the fixed-rate ladder.
+
+use std::collections::{HashMap, HashSet};
+use std::fmt::Write as _;
+
+use cibola::designs::PaperDesign;
+use cibola::mitigate::{
+    make_strategy, run_strategy_mission, AdaptiveConfig, AdaptiveScrub, LadderStrategy,
+    StrategyMissionStats, STRATEGY_NAMES,
+};
+use cibola::prelude::*;
+use cibola::radiation::sefi::{SefiMix, SefiRates};
+use cibola::radiation::SefiConfig;
+
+use super::Tier;
+
+#[derive(Debug, Clone)]
+pub struct StrategiesParams {
+    pub geometry: Geometry,
+    /// Chaos-mission duration, seconds.
+    pub chaos_s: u64,
+    /// Quiet-mission duration, seconds (the adaptive-vs-fixed contrast).
+    pub quiet_s: u64,
+    pub seed: u64,
+}
+
+impl StrategiesParams {
+    pub fn paper() -> Self {
+        StrategiesParams {
+            geometry: Geometry::tiny(),
+            chaos_s: 1800,
+            quiet_s: 7200,
+            seed: 42,
+        }
+    }
+
+    pub fn smoke() -> Self {
+        StrategiesParams {
+            chaos_s: 450,
+            quiet_s: 1800,
+            ..StrategiesParams::paper()
+        }
+    }
+
+    pub fn for_tier(tier: Tier) -> Self {
+        match tier {
+            Tier::Smoke => StrategiesParams::smoke(),
+            Tier::Paper => StrategiesParams::paper(),
+        }
+    }
+}
+
+/// One strategy's row in the comparison.
+#[derive(Debug)]
+pub struct StrategyRow {
+    pub name: &'static str,
+    pub stats: StrategyMissionStats,
+    /// FLASH ECC words read over the mission (golden-image wear).
+    pub flash_words_read: usize,
+}
+
+#[derive(Debug)]
+pub struct StrategiesResult {
+    /// Chaos-mission rows, in `STRATEGY_NAMES` order.
+    pub rows: Vec<StrategyRow>,
+    /// Plain `run_mission` on the identical chaos config — the baseline
+    /// the ladder row must match bit-for-bit.
+    pub baseline: cibola::scrub::MissionStats,
+    /// Quiet mission: fixed-rate ladder vs the adaptive controller.
+    pub quiet_fixed: StrategyMissionStats,
+    pub quiet_adaptive: StrategyMissionStats,
+    /// The adaptive ceiling used for the quiet mission.
+    pub quiet_ceiling: u64,
+    pub report: String,
+}
+
+impl StrategiesResult {
+    pub fn row(&self, name: &str) -> &StrategyRow {
+        self.rows
+            .iter()
+            .find(|r| r.name == name)
+            .unwrap_or_else(|| panic!("no strategy row {name:?}"))
+    }
+}
+
+fn nine_fpga_payload(geom: &Geometry) -> (Payload, HashMap<(usize, usize), HashSet<usize>>) {
+    let imp = implement(&PaperDesign::CounterAdder { width: 4 }.netlist(), geom)
+        .expect("counter fits tiny geometry");
+    let mut payload = Payload::new();
+    for board in 0..3 {
+        for _ in 0..3 {
+            payload.load_design(board, "ctr", geom, &imp.bitstream);
+        }
+    }
+    let mut sens = HashMap::new();
+    sens.insert((0, 0), (0..64usize).collect::<HashSet<_>>());
+    sens.insert((1, 2), HashSet::new());
+    (payload, sens)
+}
+
+fn chaos_config(p: &StrategiesParams) -> MissionConfig {
+    MissionConfig {
+        duration: SimDuration::from_secs(p.chaos_s),
+        rates: OrbitRates {
+            quiet_per_hour: 400.0,
+            flare_per_hour: 3200.0,
+            devices: 9,
+        },
+        flare: Some((
+            SimTime::from_secs(p.chaos_s / 4),
+            SimTime::from_secs(p.chaos_s / 2),
+        )),
+        periodic_full_reconfig: Some(SimDuration::from_secs(p.chaos_s / 2)),
+        sefi: Some(SefiConfig {
+            rates: SefiRates {
+                quiet_per_hour: 6.7,
+                flare_per_hour: 53.0,
+                devices: 9,
+            },
+            mix: SefiMix::default(),
+        }),
+        seed: p.seed,
+        ..Default::default()
+    }
+}
+
+fn quiet_config(p: &StrategiesParams) -> MissionConfig {
+    MissionConfig {
+        duration: SimDuration::from_secs(p.quiet_s),
+        rates: OrbitRates::default(),
+        seed: p.seed ^ 0x9E37,
+        ..Default::default()
+    }
+}
+
+pub fn run(p: &StrategiesParams) -> StrategiesResult {
+    let geom = &p.geometry;
+    let chaos = chaos_config(p);
+
+    // Baseline: the plain mission kernel on the identical scenario.
+    let (mut payload, sens) = nine_fpga_payload(geom);
+    let baseline = run_mission(&mut payload, &chaos, &sens);
+
+    let mut rows = Vec::new();
+    for name in STRATEGY_NAMES {
+        let (mut payload, sens) = nine_fpga_payload(geom);
+        let mut strategy = make_strategy(name);
+        let stats = run_strategy_mission(&mut payload, &chaos, &sens, strategy.as_mut());
+        rows.push(StrategyRow {
+            name,
+            stats,
+            flash_words_read: payload.ecc_stats.words_read,
+        });
+    }
+
+    // Quiet contrast: fixed-rate ladder vs the adaptive controller.
+    let quiet = quiet_config(p);
+    let quiet_ceiling = 16u64;
+    let (mut p_fixed, sens_q) = nine_fpga_payload(geom);
+    let mut fixed = LadderStrategy;
+    let quiet_fixed = run_strategy_mission(&mut p_fixed, &quiet, &sens_q, &mut fixed);
+    let (mut p_adapt, sens_q) = nine_fpga_payload(geom);
+    let mut adaptive = AdaptiveScrub::new(
+        LadderStrategy,
+        AdaptiveConfig {
+            window_rounds: 256,
+            k_ceiling: quiet_ceiling,
+            ..Default::default()
+        },
+    );
+    let quiet_adaptive = run_strategy_mission(&mut p_adapt, &quiet, &sens_q, &mut adaptive);
+
+    let mut report = String::new();
+    let _ = writeln!(
+        report,
+        "# E12 — Mitigation-strategy comparison (chaos mission, {} s, seed {})",
+        p.chaos_s, p.seed
+    );
+    let _ = writeln!(
+        report,
+        "{:<14} {:>7} {:>8} {:>9} {:>12} {:>11} {:>12} {:>12}",
+        "strategy",
+        "avail",
+        "repairs",
+        "mttr_ms",
+        "flash_words",
+        "blind_wr",
+        "queue_wait",
+        "busy_ms"
+    );
+    for r in &rows {
+        let m = &r.stats.mission;
+        let s = &r.stats.strategy;
+        let _ = writeln!(
+            report,
+            "{:<14} {:>7.4} {:>8} {:>9.3} {:>12} {:>11} {:>12} {:>12.1}",
+            r.name,
+            m.availability,
+            m.frames_repaired,
+            m.detect_latency_mean_ms,
+            r.flash_words_read,
+            s.blind_writes,
+            s.queue_wait_rounds,
+            r.stats.scrub_busy_ns as f64 / 1e6,
+        );
+    }
+    let _ = writeln!(report);
+    let _ = writeln!(
+        report,
+        "ladder vs run_mission baseline: {}",
+        if rows[0].stats.mission == baseline {
+            "bit-identical"
+        } else {
+            "DIVERGED"
+        }
+    );
+    let voted = rows.iter().find(|r| r.name == "voted").unwrap();
+    let _ = writeln!(
+        report,
+        "voted: {} majority repairs, {} disagreements, {} golden fallbacks, {} shadow heals",
+        voted.stats.strategy.voted_repairs,
+        voted.stats.strategy.voter_disagreements,
+        voted.stats.strategy.voter_fallbacks,
+        voted.stats.strategy.shadow_refreshes,
+    );
+    let _ = writeln!(
+        report,
+        "quiet mission ({} s): fixed ladder busy {:.1} ms vs adaptive busy {:.1} ms \
+         (final period {}x, {} retunes)",
+        p.quiet_s,
+        quiet_fixed.scrub_busy_ns as f64 / 1e6,
+        quiet_adaptive.scrub_busy_ns as f64 / 1e6,
+        quiet_adaptive.strategy.final_scrub_every,
+        quiet_adaptive.strategy.retunes,
+    );
+
+    StrategiesResult {
+        rows,
+        baseline,
+        quiet_fixed,
+        quiet_adaptive,
+        quiet_ceiling,
+        report,
+    }
+}

@@ -49,6 +49,7 @@ fn stride_subset_replays_bit_identical() {
 
     let mut campaigns = 0usize;
     let mut missions = 0usize;
+    let mut strategies = 0usize;
     for case in cases.iter().step_by(stride) {
         let outcome = run_case(case);
         assert!(
@@ -64,10 +65,25 @@ fn stride_subset_replays_bit_identical() {
         match case.params {
             CaseParams::Campaign { .. } => campaigns += 1,
             CaseParams::Mission { .. } => missions += 1,
+            CaseParams::Strategy { .. } => strategies += 1,
         }
     }
     assert!(
-        campaigns >= 3 && missions >= 1,
-        "stride subset must cover both case kinds (got {campaigns} campaign, {missions} mission)"
+        campaigns >= 3 && missions >= 1 && strategies >= 1,
+        "stride subset must cover every case kind \
+         (got {campaigns} campaign, {missions} mission, {strategies} strategy)"
     );
+}
+
+#[test]
+fn corpus_covers_every_strategy() {
+    let cases = all_cases();
+    for name in cibola_mitigate::STRATEGY_NAMES {
+        assert!(
+            cases
+                .iter()
+                .any(|c| c.id.starts_with(&format!("strat-{name}-"))),
+            "corpus has no case for strategy {name:?}"
+        );
+    }
 }

@@ -1,0 +1,166 @@
+//! Mission drivers for the strategy zoo.
+//!
+//! Both drivers share the [`cibola_scrub::MissionKernel`] — upset/SEFI
+//! landing, outstanding-fault ledger, availability integration,
+//! mission-end roll-up — and differ only in which rounds they visit:
+//!
+//! * [`run_strategy_mission_reference`] ticks every scan round, asking
+//!   the strategy at each round which boards it services.
+//! * [`run_strategy_mission`] is event-driven: it jumps directly between
+//!   rounds where an environment event lands, a board *needing* service
+//!   is *scheduled* for service, or a retune-window boundary falls. The
+//!   strategy's [`charge_idle_rounds`](crate::strategy::MitigationStrategy::charge_idle_rounds)
+//!   charges the skipped rounds' bandwidth in bulk.
+//!
+//! The differential test suite asserts both produce bit-identical
+//! [`StrategyMissionStats`] for every strategy and seed — the same
+//! guarantee the plain mission drivers carry, extended across the zoo.
+
+use std::collections::{HashMap, HashSet};
+
+use cibola_arch::SimTime;
+use cibola_scrub::payload::Payload;
+use cibola_scrub::{MissionConfig, MissionKernel, MissionStats};
+
+use crate::strategy::{MitigationStrategy, StrategyStats, WindowObservation};
+
+/// A strategy mission's combined result: the shared mission ledger, the
+/// strategy's private counters, and the scrub bandwidth actually spent.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StrategyMissionStats {
+    pub mission: MissionStats,
+    pub strategy: StrategyStats,
+    /// Simulated nanoseconds of scrub-controller busy time (scans,
+    /// repairs, blind writes, idle fast-path charges) across the mission.
+    pub scrub_busy_ns: u64,
+}
+
+impl StrategyMissionStats {
+    /// Every field as a named scalar — the mission ledger followed by the
+    /// strategy counters — for conformance-corpus digesting and reports.
+    pub fn summary_fields(&self) -> Vec<(&'static str, f64)> {
+        let mut fields = self.mission.summary_fields();
+        fields.extend(self.strategy.summary_fields());
+        fields.push(("scrub_busy_ns", self.scrub_busy_ns as f64));
+        fields
+    }
+}
+
+/// Event-driven strategy mission (see module docs).
+pub fn run_strategy_mission(
+    payload: &mut Payload,
+    cfg: &MissionConfig,
+    sensitivity: &HashMap<(usize, usize), HashSet<usize>>,
+    strategy: &mut dyn MitigationStrategy,
+) -> StrategyMissionStats {
+    drive(payload, cfg, sensitivity, strategy, true)
+}
+
+/// Reference strategy mission: every round ticked (ground truth for the
+/// differential suite).
+pub fn run_strategy_mission_reference(
+    payload: &mut Payload,
+    cfg: &MissionConfig,
+    sensitivity: &HashMap<(usize, usize), HashSet<usize>>,
+    strategy: &mut dyn MitigationStrategy,
+) -> StrategyMissionStats {
+    drive(payload, cfg, sensitivity, strategy, false)
+}
+
+fn drive(
+    payload: &mut Payload,
+    cfg: &MissionConfig,
+    sensitivity: &HashMap<(usize, usize), HashSet<usize>>,
+    strategy: &mut dyn MitigationStrategy,
+    event_driven: bool,
+) -> StrategyMissionStats {
+    let mut k = MissionKernel::new(payload, cfg, sensitivity);
+    k.set_codebook_in_loop(strategy.uses_codebook());
+    k.set_readback_in_loop(strategy.uses_readback());
+    strategy.prepare(k.payload_mut());
+
+    let round_ns = k.round().as_nanos();
+    let total_rounds = k.end().as_nanos().div_ceil(round_ns);
+    let live: Vec<usize> = k.live_boards().to_vec();
+    let window = strategy.window_rounds();
+
+    let mut windows_done: u64 = 0;
+    let mut last_upsets = 0usize;
+    let mut last_soh = k.payload().soh.len();
+    let mut busy_ns = 0u64;
+    let mut board_dirty: Vec<bool> = Vec::new();
+
+    let mut r: u64 = 0;
+    while r < total_rounds {
+        // Retune-window boundaries at exactly `r` fire before any
+        // scheduling decision, so a retune takes effect from round `r`
+        // on — in both drivers, at identical kernel state. Jumps below
+        // are clamped to the next boundary, so boundaries are always
+        // reached exactly and observed deltas cannot straddle a retune.
+        if let Some(w) = window {
+            while (windows_done + 1) * w <= r {
+                windows_done += 1;
+                let upsets = k.stats().upsets_total;
+                let soh = k.payload().soh.len();
+                let obs = WindowObservation {
+                    index: windows_done - 1,
+                    rounds: w,
+                    upsets: upsets - last_upsets,
+                    soh_events: soh - last_soh,
+                    round_ns,
+                };
+                last_upsets = upsets;
+                last_soh = soh;
+                let tele = k.payload().telemetry.clone();
+                strategy.on_window(&obs, &tele);
+            }
+        }
+
+        if event_driven {
+            // Next round where anything observable can happen: an
+            // environment event, a needing board's scheduled service, or
+            // a window boundary.
+            let mut nr = k.next_event_round(r, round_ns);
+            for (slot, &b) in live.iter().enumerate() {
+                if k.board_needs_scrub(b) {
+                    nr = nr.min(strategy.next_scrub_round(slot, r));
+                }
+            }
+            if let Some(w) = window {
+                nr = nr.min((windows_done + 1) * w);
+            }
+            let nr = nr.max(r).min(total_rounds);
+            if nr > r {
+                busy_ns += strategy.charge_idle_rounds(k.payload(), r, nr - r);
+                k.note_rounds_skipped(r, nr, round_ns);
+                r = nr;
+                continue;
+            }
+        }
+
+        let now = SimTime(r * round_ns);
+        let round_end = SimTime((r + 1) * round_ns);
+        k.land_upsets(round_end);
+        k.land_sefis(round_end);
+        for (slot, &b) in live.iter().enumerate() {
+            if strategy.next_scrub_round(slot, r) != r {
+                continue;
+            }
+            k.fill_board_dirty(b, &mut board_dirty);
+            let out = strategy.scrub_board(k.payload_mut(), b, slot, now, &board_dirty);
+            busy_ns += out.duration.as_nanos();
+            k.apply_board_outcome(b, &out, round_end);
+        }
+        k.settle_dirty();
+        k.periodic_refresh(round_end);
+        k.add_scrub_cycles(1);
+        r += 1;
+    }
+
+    let mission = k.finish();
+    StrategyMissionStats {
+        mission,
+        strategy: strategy.stats(),
+        scrub_busy_ns: busy_ns,
+    }
+}

@@ -37,7 +37,7 @@ pub use manager::{
     dynamic_bits_for, masked_frames_for, CorruptFrame, CrcCodebook, DynamicBitMask, FaultManager,
     ScanReport,
 };
-pub use mission::{run_mission, run_mission_reference, MissionConfig, MissionStats};
+pub use mission::{run_mission, run_mission_reference, MissionConfig, MissionKernel, MissionStats};
 pub use payload::{
     soh_event_meta, FpgaHealth, Payload, ScrubOutcome, ScrubPolicy, SohEvent, SohRecord, BOARDS,
     FPGAS_PER_BOARD,

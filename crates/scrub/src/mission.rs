@@ -214,7 +214,13 @@ struct Outstanding {
 /// `scrub_round`, `periodic_refresh`). The phases are verbatim extractions
 /// of the historical loop body, so the reference and event-driven drivers
 /// differ *only* in which rounds they visit.
-struct MissionKernel<'a> {
+///
+/// Public (fields private): the `cibola-mitigate` strategy drivers reuse
+/// the environment/accounting machinery — upset and SEFI landing, the
+/// outstanding-fault ledger, availability integration, mission-end
+/// roll-up — while substituting their own per-board repair action for
+/// [`Payload::scrub_board`] via [`MissionKernel::apply_board_outcome`].
+pub struct MissionKernel<'a> {
     payload: &'a mut Payload,
     cfg: &'a MissionConfig,
     sensitivity: &'a HashMap<(usize, usize), HashSet<usize>>,
@@ -243,10 +249,19 @@ struct MissionKernel<'a> {
     /// rebuilds a failing book) has run. Lets the skip predicate avoid
     /// re-hashing every codebook between events.
     codebook_suspect: Vec<bool>,
+    /// True (the default) while the driving strategy runs the codebook
+    /// self-check each pass. Strategies that never consult the codebook
+    /// (blind scrubbing) clear it so a suspect book neither forces rounds
+    /// active nor trips the skip-safety assertion.
+    codebook_in_loop: bool,
+    /// True (the default) while the driving strategy performs readback.
+    /// Write-only strategies clear it: latched read faults can then never
+    /// be consumed, so only *write* faults keep a device scrub-active.
+    readback_in_loop: bool,
 }
 
 impl<'a> MissionKernel<'a> {
-    fn new(
+    pub fn new(
         payload: &'a mut Payload,
         cfg: &'a MissionConfig,
         sensitivity: &'a HashMap<(usize, usize), HashSet<usize>>,
@@ -337,16 +352,66 @@ impl<'a> MissionKernel<'a> {
             last_refresh: vec![SimTime::ZERO; ndev],
             board_dirty: Vec::new(),
             codebook_suspect,
+            codebook_in_loop: true,
+            readback_in_loop: true,
             payload,
             cfg,
             sensitivity,
         }
     }
 
+    // ---- accessors for external (strategy) drivers ----
+
+    /// The scan-round duration (the longest live board's scan cycle).
+    pub fn round(&self) -> SimDuration {
+        self.round
+    }
+
+    /// Mission end time.
+    pub fn end(&self) -> SimTime {
+        self.end
+    }
+
+    /// Statistics accumulated so far (final roll-up happens in `finish`).
+    pub fn stats(&self) -> &MissionStats {
+        &self.stats
+    }
+
+    /// Board indices with at least one loaded FPGA, in board order — the
+    /// strategy's "slot" space is an index into this slice.
+    pub fn live_boards(&self) -> &[usize] {
+        &self.live_boards
+    }
+
+    /// Every loaded (board, fpga) position.
+    pub fn positions(&self) -> &[(usize, usize)] {
+        &self.positions
+    }
+
+    pub fn payload(&self) -> &Payload {
+        self.payload
+    }
+
+    pub fn payload_mut(&mut self) -> &mut Payload {
+        self.payload
+    }
+
+    /// Declare whether the driving strategy checks the CRC codebook each
+    /// pass (see [`MissionKernel::device_needs_scrub`]).
+    pub fn set_codebook_in_loop(&mut self, v: bool) {
+        self.codebook_in_loop = v;
+    }
+
+    /// Declare whether the driving strategy performs configuration
+    /// readback (see [`MissionKernel::device_needs_scrub`]).
+    pub fn set_readback_in_loop(&mut self, v: bool) {
+        self.readback_in_loop = v;
+    }
+
     /// Land upsets arriving strictly before `round_end`. RNG draws happen
     /// once per *event*, never per round, so the stream is identical no
     /// matter how the timeline between events is traversed.
-    fn land_upsets(&mut self, round_end: SimTime) {
+    pub fn land_upsets(&mut self, round_end: SimTime) {
         while self.next_upset < round_end {
             // Flare window switches the arrival-rate regime.
             let in_flare = self
@@ -416,7 +481,7 @@ impl<'a> MissionKernel<'a> {
     }
 
     /// Land SEFIs striking the fault-management machinery itself.
-    fn land_sefis(&mut self, round_end: SimTime) {
+    pub fn land_sefis(&mut self, round_end: SimTime) {
         let Some(p) = self.sefi.as_mut() else { return };
         let mut t = self.next_sefi.unwrap();
         while t < round_end {
@@ -485,58 +550,72 @@ impl<'a> MissionKernel<'a> {
         self.next_sefi = Some(t);
     }
 
-    /// Scrub every board (they run concurrently; the round already spans
-    /// the longest board), then settle dirty flags.
-    fn scrub_round(&mut self, now: SimTime, round_end: SimTime) {
-        for bi in 0..self.live_boards.len() {
-            let b = self.live_boards[bi];
-            let base = self.board_base[b];
-            let nf = self.payload.boards[b].fpgas.len();
-            self.board_dirty.clear();
-            for f in 0..nf {
-                let v = self.dirty[base + f];
-                self.board_dirty.push(v);
-            }
-            let out = self.payload.scrub_board(b, now, &self.board_dirty);
-            self.stats.frames_repaired += out.frames_repaired;
-            self.stats.detected += out.frames_repaired;
-            self.stats.full_reconfigs += out.full_reconfigs;
-            self.stats.ladder.merge(&out.ladder);
-            if self.payload.telemetry.is_enabled() && !out.ladder.is_quiet() {
-                self.payload.telemetry.observe(
-                    "scrub.board_pass_ms",
-                    LATENCY_MS_BUCKETS,
-                    out.duration.as_millis_f64(),
-                );
-            }
-            for f in out.devices_cleaned {
-                let di = base + f;
-                // Repairable outstanding faults are resolved; their
-                // unavailability window closes at round_end. `retain`
-                // visits in order, preserving the latency-push order of
-                // the historical drain-into-`rest` loop without its
-                // per-round allocation.
-                let latencies = &mut self.latencies;
-                let unavailable = &mut self.unavailable;
-                self.outstanding[di].retain(|o| {
-                    if o.repairable {
-                        latencies.push(round_end.since(o.at));
-                        if o.sensitive {
-                            *unavailable += round_end.since(o.at);
-                        }
-                        false
-                    } else {
-                        true
+    /// Copy board `b`'s per-device dirty hints into `buf` (cleared
+    /// first) — the hint slice strategies pass to their repair action.
+    pub fn fill_board_dirty(&self, b: usize, buf: &mut Vec<bool>) {
+        let base = self.board_base[b];
+        let nf = self.payload.boards[b].fpgas.len();
+        buf.clear();
+        for f in 0..nf {
+            buf.push(self.dirty[base + f]);
+        }
+    }
+
+    /// Fold one board's pass outcome into the mission ledger: counter
+    /// roll-up, pass-latency histogram, closing the unavailability
+    /// windows of every repaired fault, and codebook-suspect clearing.
+    /// Exactly the bookkeeping the built-in `scrub_round` performs, so a
+    /// strategy that substitutes its own repair action inherits identical
+    /// accounting.
+    pub fn apply_board_outcome(
+        &mut self,
+        b: usize,
+        out: &crate::payload::ScrubOutcome,
+        round_end: SimTime,
+    ) {
+        let base = self.board_base[b];
+        self.stats.frames_repaired += out.frames_repaired;
+        self.stats.detected += out.frames_repaired;
+        self.stats.full_reconfigs += out.full_reconfigs;
+        self.stats.ladder.merge(&out.ladder);
+        if self.payload.telemetry.is_enabled() && !out.ladder.is_quiet() {
+            self.payload.telemetry.observe(
+                "scrub.board_pass_ms",
+                LATENCY_MS_BUCKETS,
+                out.duration.as_millis_f64(),
+            );
+        }
+        for &f in &out.devices_cleaned {
+            let di = base + f;
+            // Repairable outstanding faults are resolved; their
+            // unavailability window closes at round_end. `retain`
+            // visits in order, preserving the latency-push order of
+            // the historical drain-into-`rest` loop without its
+            // per-round allocation.
+            let latencies = &mut self.latencies;
+            let unavailable = &mut self.unavailable;
+            self.outstanding[di].retain(|o| {
+                if o.repairable {
+                    latencies.push(round_end.since(o.at));
+                    if o.sensitive {
+                        *unavailable += round_end.since(o.at);
                     }
-                });
-                // User-state upsets were flushed by the reset too.
-                self.dirty[di] = self.outstanding[di].iter().any(|o| o.repairable);
-            }
-            // A pass that ended with the failure counter clear got past
-            // rung 0, i.e. the codebook passed self-check or was rebuilt.
-            // Failed passes (counter > 0) may have left it corrupt, but
-            // they also force every subsequent round to execute, so the
-            // stale suspect flag is never consulted for a skip.
+                    false
+                } else {
+                    true
+                }
+            });
+            // User-state upsets were flushed by the reset too.
+            self.dirty[di] = self.outstanding[di].iter().any(|o| o.repairable);
+        }
+        // A pass that ended with the failure counter clear got past
+        // rung 0, i.e. the codebook passed self-check or was rebuilt.
+        // Failed passes (counter > 0) may have left it corrupt, but
+        // they also force every subsequent round to execute, so the
+        // stale suspect flag is never consulted for a skip. Strategies
+        // that never run rung 0 must not clear the flag.
+        if self.codebook_in_loop {
+            let nf = self.payload.boards[b].fpgas.len();
             for f in 0..nf {
                 let health = &self.payload.fpga(b, f).health;
                 if !health.degraded && health.consecutive_failures == 0 {
@@ -544,8 +623,12 @@ impl<'a> MissionKernel<'a> {
                 }
             }
         }
-        // Devices that were dirty only with unrepairable faults stay
-        // flagged clean for scanning purposes (scan finds nothing).
+    }
+
+    /// Devices that were dirty only with unrepairable faults stay
+    /// flagged clean for scanning purposes (scan finds nothing). Run
+    /// once per round after every board's outcome has been applied.
+    pub fn settle_dirty(&mut self) {
         for di in 0..self.ndev {
             if self.dirty[di] && !self.outstanding[di].iter().any(|o| o.repairable) {
                 self.dirty[di] = false;
@@ -553,9 +636,25 @@ impl<'a> MissionKernel<'a> {
         }
     }
 
+    /// Scrub every board (they run concurrently; the round already spans
+    /// the longest board), then settle dirty flags.
+    fn scrub_round(&mut self, now: SimTime, round_end: SimTime) {
+        for bi in 0..self.live_boards.len() {
+            let b = self.live_boards[bi];
+            // Reuse the snapshot buffer across rounds without fighting
+            // the borrow checker on `self`.
+            let mut buf = std::mem::take(&mut self.board_dirty);
+            self.fill_board_dirty(b, &mut buf);
+            let out = self.payload.scrub_board(b, now, &buf);
+            self.board_dirty = buf;
+            self.apply_board_outcome(b, &out, round_end);
+        }
+        self.settle_dirty();
+    }
+
     /// Periodic full reconfiguration: heals everything, including
     /// half-latches and other hidden state.
-    fn periodic_refresh(&mut self, round_end: SimTime) {
+    pub fn periodic_refresh(&mut self, round_end: SimTime) {
         let Some(period) = self.cfg.periodic_full_reconfig else {
             return;
         };
@@ -581,12 +680,34 @@ impl<'a> MissionKernel<'a> {
     }
 
     /// One full scan round, exactly as the historical loop body ran it.
-    fn run_round(&mut self, now: SimTime, round_end: SimTime) {
+    pub fn run_round(&mut self, now: SimTime, round_end: SimTime) {
         self.land_upsets(round_end);
         self.land_sefis(round_end);
         self.scrub_round(now, round_end);
         self.periodic_refresh(round_end);
         self.stats.scrub_cycles += 1;
+    }
+
+    /// Charge the scrub-cycle accounting (and telemetry) for rounds
+    /// `[r, nr)` that an event-driven driver proved to be observable-state
+    /// no-ops and is jumping over.
+    pub fn note_rounds_skipped(&mut self, r: u64, nr: u64, round_ns: u64) {
+        self.stats.scrub_cycles += (nr - r) as usize;
+        self.payload.telemetry.inc("mission.rounds_skipped", nr - r);
+        self.payload.telemetry.emit_with(|| {
+            TelemetryEvent::span(
+                Subsystem::Mission,
+                "mission.rounds_skipped",
+                r * round_ns,
+                (nr - r) * round_ns,
+            )
+            .with_u64("rounds", nr - r)
+        });
+    }
+
+    /// Count scan rounds a strategy driver executed itself.
+    pub fn add_scrub_cycles(&mut self, n: usize) {
+        self.stats.scrub_cycles += n;
     }
 
     /// Would scrubbing this device in the next round change *any*
@@ -598,42 +719,56 @@ impl<'a> MissionKernel<'a> {
     /// and FSM strike), and the `consecutive_failures = 0` reset the fast
     /// path performs is idempotent. Degraded devices are skipped by
     /// `scrub_board` unconditionally.
-    fn device_needs_scrub(&self, di: usize) -> bool {
+    pub fn device_needs_scrub(&self, di: usize) -> bool {
         let (b, f) = self.positions[di];
         let fpga = self.payload.fpga(b, f);
         if fpga.health.degraded {
             return false;
         }
+        // Latched injected faults only matter if the strategy's repair
+        // action can consume them: a readback strategy drains both fault
+        // queues, a write-only strategy drains only write faults (reads
+        // never happen, so read faults sit latched forever, harmlessly).
+        let pending_faults = if self.readback_in_loop {
+            fpga.device.pending_port_faults() > 0
+        } else {
+            fpga.device.pending_write_faults() > 0
+        };
         // `codebook_suspect` stands in for hashing the codebook: clear
         // means the last clean scrub pass (or construction) proved
         // self_check passes and no codebook SEFI has landed since.
+        // Strategies without a codebook in the loop ignore it entirely.
         if self.dirty[di]
             || fpga.health.consecutive_failures > 0
             || !fpga.device.is_programmed()
             || fpga.device.is_port_wedged()
-            || fpga.device.pending_port_faults() > 0
-            || self.codebook_suspect[di]
+            || pending_faults
+            || (self.codebook_in_loop && self.codebook_suspect[di])
         {
             return true;
         }
         // Skip-safety invariant: never skip a device whose codebook
         // would fail rung 0.
-        debug_assert!(fpga.manager.codebook.self_check());
+        debug_assert!(!self.codebook_in_loop || fpga.manager.codebook.self_check());
         false
     }
 
-    fn any_device_needs_scrub(&self) -> bool {
+    pub fn any_device_needs_scrub(&self) -> bool {
         (0..self.ndev).any(|di| self.device_needs_scrub(di))
     }
 
-    /// The next round index ≥ `r` at which anything observable can happen:
-    /// `r` itself while any device has scrub work, else the round
-    /// containing the next upset/SEFI arrival or the round whose *end*
-    /// crosses a periodic full-reconfig deadline.
-    fn next_active_round(&self, r: u64, round_ns: u64) -> u64 {
-        if self.any_device_needs_scrub() {
-            return r;
-        }
+    /// Does any device on board `b` have scrub work?
+    pub fn board_needs_scrub(&self, b: usize) -> bool {
+        let base = self.board_base[b];
+        let nf = self.payload.boards[b].fpgas.len();
+        (base..base + nf).any(|di| self.device_needs_scrub(di))
+    }
+
+    /// The round index ≥ `r` containing the next *environment* event —
+    /// upset arrival, SEFI arrival, or a periodic full-reconfig deadline —
+    /// ignoring scrub work. Strategy drivers combine this with their own
+    /// scheduling to bound how far they may jump.
+    pub fn next_event_round(&self, r: u64, round_ns: u64) -> u64 {
         let mut next = self.next_upset.as_nanos() / round_ns;
         if let Some(t) = self.next_sefi {
             next = next.min(t.as_nanos() / round_ns);
@@ -654,8 +789,19 @@ impl<'a> MissionKernel<'a> {
         next.max(r)
     }
 
+    /// The next round index ≥ `r` at which anything observable can happen:
+    /// `r` itself while any device has scrub work, else the round
+    /// containing the next upset/SEFI arrival or the round whose *end*
+    /// crosses a periodic full-reconfig deadline.
+    pub fn next_active_round(&self, r: u64, round_ns: u64) -> u64 {
+        if self.any_device_needs_scrub() {
+            return r;
+        }
+        self.next_event_round(r, round_ns)
+    }
+
     /// Close out mission-end exposure and produce the final stats.
-    fn finish(mut self) -> MissionStats {
+    pub fn finish(mut self) -> MissionStats {
         for dev_out in &self.outstanding {
             for o in dev_out {
                 if o.sensitive {
@@ -732,6 +878,12 @@ impl<'a> MissionKernel<'a> {
                     d.as_millis_f64(),
                 );
             }
+            // Mission-wide ladder counters and MTTR, exported next to the
+            // per-rung repair-latency histograms the payload records.
+            for (name, v) in self.stats.ladder.metric_entries() {
+                tele.inc(name, v as u64);
+            }
+            tele.gauge("mission.mttr_ms", self.stats.detect_latency_mean_ms);
             let mut port = cibola_telemetry::PortFaultStats::default();
             for &(b, f) in &self.positions {
                 port.merge(&self.payload.fpga(b, f).device.port_fault_stats());
@@ -785,17 +937,7 @@ pub fn run_mission(
         if nr > r {
             // Rounds (r..nr) are observable-state no-ops: charge their
             // scrub-cycle accounting and jump.
-            k.stats.scrub_cycles += (nr - r) as usize;
-            k.payload.telemetry.inc("mission.rounds_skipped", nr - r);
-            k.payload.telemetry.emit_with(|| {
-                TelemetryEvent::span(
-                    Subsystem::Mission,
-                    "mission.rounds_skipped",
-                    r * round_ns,
-                    (nr - r) * round_ns,
-                )
-                .with_u64("rounds", nr - r)
-            });
+            k.note_rounds_skipped(r, nr, round_ns);
             r = nr;
             continue;
         }

@@ -114,6 +114,13 @@ pub enum SohEvent {
     PortReset,
     /// The device exhausted the escalation ladder and was marked degraded.
     DeviceDegraded,
+    /// Frame-level majority vote: device readback, both shadow copies and
+    /// the golden CRC all disagree (3-way tie) — the voter fell back to a
+    /// FLASH golden fetch.
+    VoterDisagreement { frame_index: usize },
+    /// A frame was repaired from the 2-of-3 majority of device readback
+    /// and the two shadow configuration copies, without touching FLASH.
+    VotedRepair { frame_index: usize },
 }
 
 /// A timestamped SOH record.
@@ -223,7 +230,10 @@ impl Payload {
         &mut self.boards[board].fpgas[fpga]
     }
 
-    fn push_soh(&mut self, board: usize, fpga: usize, at: SimTime, event: SohEvent) {
+    /// Record one state-of-health event (and its telemetry mirror).
+    /// Public so mitigation strategies outside this crate write the same
+    /// flight log the built-in ladder does.
+    pub fn push_soh(&mut self, board: usize, fpga: usize, at: SimTime, event: SohEvent) {
         self.telemetry.emit_with(|| {
             let (name, severity, rung) = soh_event_meta(&event);
             let mut ev = TelemetryEvent::point(Subsystem::Scrub, severity, name, at.as_nanos())
@@ -235,7 +245,9 @@ impl Payload {
                 SohEvent::FrameCorrupt { frame_index }
                 | SohEvent::FrameRepaired { frame_index }
                 | SohEvent::VerifyFailed { frame_index }
-                | SohEvent::GoldenFrameUncorrectable { frame_index } => {
+                | SohEvent::GoldenFrameUncorrectable { frame_index }
+                | SohEvent::VoterDisagreement { frame_index }
+                | SohEvent::VotedRepair { frame_index } => {
                     ev = ev.with_u64("frame", frame_index as u64);
                 }
                 SohEvent::RepairRetry {
@@ -467,6 +479,7 @@ impl Payload {
             mgr.scan(&mut f.device)
         };
         out.duration += recheck.duration;
+        self.observe_rung_latency(EscalationRung::RescanVerify, recheck.duration);
         if !recheck.wedged
             && recheck.aborted_frames == 0
             && !recheck.looks_unprogrammed()
@@ -499,8 +512,10 @@ impl Payload {
 
     /// Write `golden` to the frame, re-read it, and compare against the
     /// codebook; retry with exponential backoff up to the policy bound.
+    /// Public: mitigation strategies use it as their golden-fallback
+    /// repair primitive.
     #[allow(clippy::too_many_arguments)]
-    fn repair_frame_verified(
+    pub fn repair_frame_verified(
         &mut self,
         board: usize,
         fi: usize,
@@ -599,7 +614,7 @@ impl Payload {
 
     /// Rebuild the CRC codebook from the ECC-protected FLASH golden.
     /// Returns false if the golden image itself is unreadable.
-    fn rebuild_codebook(
+    pub fn rebuild_codebook(
         &mut self,
         board: usize,
         fi: usize,
@@ -616,6 +631,7 @@ impl Payload {
                 self.boards[board].fpgas[fi].manager.codebook = CrcCodebook::new(&image, &masked);
                 out.duration += fetch;
                 out.ladder.codebook_rebuilds += 1;
+                self.observe_rung_latency(EscalationRung::CodebookRebuild, fetch);
                 self.push_soh(board, fi, now + out.duration, SohEvent::CodebookRebuilt);
                 true
             }
@@ -635,15 +651,28 @@ impl Payload {
     }
 
     /// Power-cycle one device's configuration port and log it.
-    fn reset_port(&mut self, board: usize, fi: usize, now: SimTime, out: &mut ScrubOutcome) {
-        out.duration += self.boards[board].fpgas[fi].device.port_reset();
+    pub fn reset_port(&mut self, board: usize, fi: usize, now: SimTime, out: &mut ScrubOutcome) {
+        let d = self.boards[board].fpgas[fi].device.port_reset();
+        out.duration += d;
         out.ladder.port_resets += 1;
+        self.observe_rung_latency(EscalationRung::PortPowerCycle, d);
         self.push_soh(board, fi, now + out.duration, SohEvent::PortReset);
     }
 
+    /// Record one rung's repair latency into its per-rung histogram.
+    fn observe_rung_latency(&self, rung: EscalationRung, d: SimDuration) {
+        if self.telemetry.is_enabled() {
+            if let Some(metric) = rung.latency_metric() {
+                self.telemetry
+                    .observe(metric, LATENCY_MS_BUCKETS, d.as_millis_f64());
+            }
+        }
+    }
+
     /// Full reconfiguration with wedge and FLASH-ECC handling. Returns
-    /// true when the device came back programmed.
-    fn try_full_reconfig(
+    /// true when the device came back programmed. Public: strategies
+    /// outside the crate reuse it as their rung-3 action.
+    pub fn try_full_reconfig(
         &mut self,
         board: usize,
         fi: usize,
@@ -660,8 +689,10 @@ impl Payload {
             Ok((image, fetch)) => {
                 self.merge_ecc(board, fi, now, &stats);
                 let f = &mut self.boards[board].fpgas[fi];
-                out.duration += fetch + f.device.configure_full(&image);
+                let d = fetch + f.device.configure_full(&image);
+                out.duration += d;
                 out.full_reconfigs += 1;
+                self.observe_rung_latency(EscalationRung::FullReconfig, d);
                 self.push_soh(board, fi, now + out.duration, SohEvent::FullReconfig);
                 true
             }
@@ -682,7 +713,14 @@ impl Payload {
 
     /// Count a pass that left the device faulty; degrade after the policy
     /// bound so the mission cannot livelock on an unrecoverable device.
-    fn note_failed_pass(&mut self, board: usize, fi: usize, now: SimTime, out: &mut ScrubOutcome) {
+    /// Public: strategies share the same degrade bookkeeping.
+    pub fn note_failed_pass(
+        &mut self,
+        board: usize,
+        fi: usize,
+        now: SimTime,
+        out: &mut ScrubOutcome,
+    ) {
         let degrade_after = self.policy.degrade_after;
         let h = &mut self.boards[board].fpgas[fi].health;
         h.consecutive_failures += 1;
@@ -707,7 +745,10 @@ impl Payload {
         out.duration
     }
 
-    fn merge_ecc(&mut self, board: usize, fpga: usize, now: SimTime, stats: &EccStats) {
+    /// Fold a FLASH access's ECC statistics into the payload log.
+    /// Public: strategies performing their own golden fetches must charge
+    /// the same wear and SOH accounting.
+    pub fn merge_ecc(&mut self, board: usize, fpga: usize, now: SimTime, stats: &EccStats) {
         self.ecc_stats.words_read += stats.words_read;
         self.ecc_stats.corrected += stats.corrected;
         self.ecc_stats.uncorrectable += stats.uncorrectable;
@@ -779,6 +820,12 @@ pub fn soh_event_meta(event: &SohEvent) -> (&'static str, Severity, Option<Escal
             "scrub.device_degraded",
             EscalationRung::Degrade.severity(),
             Some(EscalationRung::Degrade),
+        ),
+        SohEvent::VoterDisagreement { .. } => ("scrub.voter_disagreement", Severity::Warning, None),
+        SohEvent::VotedRepair { .. } => (
+            "scrub.voted_repair",
+            Severity::Info,
+            Some(EscalationRung::FrameRepair),
         ),
     }
 }

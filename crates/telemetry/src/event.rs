@@ -76,6 +76,24 @@ impl Subsystem {
     }
 }
 
+/// Required field keys for events with a structured schema contract —
+/// the mitigation-strategy and adaptive-controller vocabulary that
+/// `telemetry_lint` enforces on JSONL dumps. An event name absent from
+/// this table only needs the universal `t_ns`/`name` shape; a name
+/// present here must also carry every listed field key.
+pub fn known_event_required_fields(name: &str) -> Option<&'static [&'static str]> {
+    match name {
+        // Adaptive scrub-rate controller retune decision.
+        "strategy.retune" => Some(&["k_old", "k_new", "window", "upsets"]),
+        // Frame-level majority voter outcomes (also SOH events).
+        "scrub.voter_disagreement" => Some(&["frame"]),
+        "scrub.voted_repair" => Some(&["frame"]),
+        // Intermodular shared-controller queueing.
+        "strategy.queue_wait" => Some(&["rounds"]),
+        _ => None,
+    }
+}
+
 /// A typed field value attached to an event.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum FieldValue {

@@ -63,6 +63,21 @@ impl EscalationRung {
         }
     }
 
+    /// Metrics-registry histogram name for this rung's repair latency,
+    /// `None` for rungs with no repair operation (degrade is a state
+    /// change, not an action with a duration). `FrameRepair` keeps the
+    /// pre-existing `scrub.frame_repair_ms` name so dashboards survive.
+    pub fn latency_metric(self) -> Option<&'static str> {
+        match self {
+            EscalationRung::CodebookRebuild => Some("ladder.codebook_rebuild_ms"),
+            EscalationRung::FrameRepair => Some("scrub.frame_repair_ms"),
+            EscalationRung::RescanVerify => Some("ladder.rescan_verify_ms"),
+            EscalationRung::FullReconfig => Some("ladder.full_reconfig_ms"),
+            EscalationRung::PortPowerCycle => Some("ladder.port_reset_ms"),
+            EscalationRung::Degrade => None,
+        }
+    }
+
     /// Downlink priority of events at this rung: the higher the ladder
     /// climbs, the less shedable the evidence.
     pub fn severity(self) -> Severity {
@@ -119,6 +134,22 @@ impl LadderStats {
         *self == LadderStats::default()
     }
 
+    /// `(metric name, value)` pairs with the `ladder.` registry prefix —
+    /// what mission end exports through the metrics registry, so ladder
+    /// counters appear next to the per-rung latency histograms.
+    pub fn metric_entries(&self) -> [(&'static str, usize); 8] {
+        [
+            ("ladder.sefis_observed", self.sefis_observed),
+            ("ladder.repair_retries", self.repair_retries),
+            ("ladder.verify_failures", self.verify_failures),
+            ("ladder.codebook_rebuilds", self.codebook_rebuilds),
+            ("ladder.port_resets", self.port_resets),
+            ("ladder.frames_escalated", self.frames_escalated),
+            ("ladder.golden_uncorrectable", self.golden_uncorrectable),
+            ("ladder.devices_degraded", self.devices_degraded),
+        ]
+    }
+
     /// `(counter name, value)` pairs in declaration order — for reports
     /// and metric export without re-listing the fields at every caller.
     pub fn entries(&self) -> [(&'static str, usize); 8] {
@@ -146,6 +177,31 @@ mod tests {
         assert_eq!(unique.len(), names.len());
         for (i, r) in EscalationRung::ALL.iter().enumerate() {
             assert_eq!(r.index() as usize, i);
+        }
+    }
+
+    #[test]
+    fn latency_metrics_cover_every_acting_rung() {
+        let names: Vec<_> = EscalationRung::ALL
+            .iter()
+            .filter_map(|r| r.latency_metric())
+            .collect();
+        assert_eq!(names.len(), 5, "every rung but Degrade has a latency");
+        let unique: std::collections::HashSet<_> = names.iter().collect();
+        assert_eq!(unique.len(), names.len());
+        assert_eq!(EscalationRung::Degrade.latency_metric(), None);
+    }
+
+    #[test]
+    fn metric_entries_mirror_entries() {
+        let s = LadderStats {
+            port_resets: 4,
+            devices_degraded: 1,
+            ..Default::default()
+        };
+        for ((plain, pv), (prefixed, mv)) in s.entries().iter().zip(s.metric_entries()) {
+            assert_eq!(prefixed, format!("ladder.{plain}"));
+            assert_eq!(*pv, mv);
         }
     }
 

@@ -37,7 +37,7 @@ pub mod recorder;
 pub mod sink;
 
 pub use downlink::{plan_downlink, DownlinkPlan, PassPlan, SohDownlinkPolicy};
-pub use event::{FieldValue, Severity, Subsystem, TelemetryEvent};
+pub use event::{known_event_required_fields, FieldValue, Severity, Subsystem, TelemetryEvent};
 pub use json::{validate_json_line, validate_telemetry_line, JsonError, JsonObject};
 pub use ladder::{EscalationRung, LadderStats};
 pub use metrics::{
